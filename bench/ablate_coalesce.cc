@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation: flush-queue coalescing (§5.3). Same-kind CBO.X to the same
+ * unchanged line merge with the pending request; without coalescing every
+ * redundant writeback either nacks (serializing the LSU) or occupies a
+ * queue slot and an FSHR round trip.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace skipit;
+
+namespace {
+
+Cycle
+run(bool coalesce, std::size_t bytes)
+{
+    SoCConfig cfg;
+    cfg.l1.coalesce = coalesce;
+    cfg.withSkipIt(false); // isolate coalescing from the skip bit
+    return bench::redundantWbLatency(cfg, 1, bytes, false);
+}
+
+void
+printTable()
+{
+    std::printf("=== Ablation: CBO coalescing (redundant CBO.CLEAN "
+                "passes, naive L1) ===\n");
+    std::printf("%10s%14s%14s%10s\n", "bytes", "coalesce", "none",
+                "overhead");
+    for (std::size_t sz : {std::size_t{64}, std::size_t{1024},
+                           std::size_t{32768}}) {
+        const Cycle on = run(true, sz);
+        const Cycle off = run(false, sz);
+        std::printf("%10zu%14llu%14llu%9.1f%%\n", sz,
+                    static_cast<unsigned long long>(on),
+                    static_cast<unsigned long long>(off),
+                    100.0 * (static_cast<double>(off) - on) / on);
+    }
+    std::printf("\n");
+}
+
+void
+BM_Coalesce(benchmark::State &state)
+{
+    Cycle c = 0;
+    for (auto _ : state)
+        c = run(state.range(0) != 0, 1024);
+    state.SetLabel(state.range(0) != 0 ? "coalesce" : "no-coalesce");
+    state.counters["sim_cycles"] = static_cast<double>(c);
+}
+
+BENCHMARK(BM_Coalesce)->Arg(0)->Arg(1)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

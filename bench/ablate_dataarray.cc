@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation: the widened data array (§5.2). The paper modified the L1 data
+ * SRAM to serve a whole line in one cycle; the unmodified array needs one
+ * 8 B word per cycle (8 cycles per line), which stretches every dirty
+ * writeback's FillBuffer stage.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace skipit;
+
+namespace {
+
+Cycle
+run(bool wide, std::size_t bytes)
+{
+    SoCConfig cfg;
+    cfg.l1.wide_data_array = wide;
+    return bench::cboLatency(cfg, 1, bytes, true);
+}
+
+void
+printTable()
+{
+    std::printf("=== Ablation: widened data array (1 thread, dirty "
+                "flush) ===\n");
+    std::printf("%10s%14s%14s%10s\n", "bytes", "wide", "narrow",
+                "overhead");
+    for (std::size_t sz : {std::size_t{64}, std::size_t{4096},
+                           std::size_t{32768}}) {
+        const Cycle wide = run(true, sz);
+        const Cycle narrow = run(false, sz);
+        std::printf("%10zu%14llu%14llu%9.1f%%\n", sz,
+                    static_cast<unsigned long long>(wide),
+                    static_cast<unsigned long long>(narrow),
+                    100.0 * (static_cast<double>(narrow) - wide) / wide);
+    }
+    std::printf("\n");
+}
+
+void
+BM_DataArray(benchmark::State &state)
+{
+    Cycle c = 0;
+    for (auto _ : state)
+        c = run(state.range(0) != 0, 32768);
+    state.SetLabel(state.range(0) != 0 ? "wide" : "narrow");
+    state.counters["sim_cycles"] = static_cast<double>(c);
+}
+
+BENCHMARK(BM_DataArray)->Arg(0)->Arg(1)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: FSHR count. The paper fixes 8 FSHRs (§5.2); this sweep shows
+ * why — single-thread writeback throughput is bound by (FSHR round trip /
+ * FSHR count) until the LSU issue rate takes over.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace skipit;
+
+namespace {
+
+Cycle
+run(unsigned fshrs, unsigned queue_depth)
+{
+    SoCConfig cfg;
+    cfg.l1.fshrs = fshrs;
+    cfg.l1.flush_queue_depth = queue_depth;
+    return bench::cboLatency(cfg, 1, 32768, true);
+}
+
+void
+printTable()
+{
+    std::printf("=== Ablation: FSHR count (32 KiB flush, 1 thread) ===\n");
+    std::printf("%8s%14s%18s\n", "fshrs", "cycles", "cycles_per_line");
+    for (unsigned f : {1u, 2u, 4u, 8u, 16u}) {
+        const Cycle c = run(f, 8);
+        std::printf("%8u%14llu%18.2f\n", f,
+                    static_cast<unsigned long long>(c),
+                    static_cast<double>(c) / 512.0);
+    }
+    std::printf("\n");
+}
+
+void
+BM_FshrCount(benchmark::State &state)
+{
+    Cycle c = 0;
+    for (auto _ : state)
+        c = run(static_cast<unsigned>(state.range(0)), 8);
+    state.counters["sim_cycles"] = static_cast<double>(c);
+}
+
+BENCHMARK(BM_FshrCount)->Arg(1)->Arg(8)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Bench-side adapter: the figure benches were written against
+ * skipit::bench; the implementation now lives in the public workloads
+ * library.
+ */
+
+#ifndef SKIPIT_BENCH_COMMON_HH
+#define SKIPIT_BENCH_COMMON_HH
+
+#include "sim/random.hh"
+#include "workloads/workloads.hh"
+
+namespace skipit {
+namespace bench = ::skipit::workloads;
+} // namespace skipit
+
+#endif // SKIPIT_BENCH_COMMON_HH

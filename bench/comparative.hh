@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared series builder for the Figure 11 / Figure 12 comparative
+ * writeback-latency benches: the SonicBOOM cycle model plus the
+ * commercial-platform analytic models.
+ */
+
+#ifndef SKIPIT_BENCH_COMPARATIVE_HH
+#define SKIPIT_BENCH_COMPARATIVE_HH
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common.hh"
+#include "platform/platform.hh"
+
+namespace skipit::bench_detail {
+
+inline constexpr std::size_t sizes[] = {64,   256,   1024,  4096,
+                                 8192, 16384, 32768};
+
+struct Series
+{
+    const char *label;
+    std::function<double(std::size_t)> latency;
+};
+
+inline std::vector<Series>
+buildSeries(unsigned threads)
+{
+    std::vector<Series> out;
+    out.push_back({"boom cbo.flush", [=](std::size_t sz) {
+                       return static_cast<double>(bench::cboLatency(
+                           SoCConfig{}, threads, sz, true));
+                   }});
+    out.push_back({"boom cbo.clean", [=](std::size_t sz) {
+                       return static_cast<double>(bench::cboLatency(
+                           SoCConfig{}, threads, sz, false));
+                   }});
+    const PlatformModel intel = platforms::intelXeon6238T();
+    const PlatformModel amd = platforms::amdEpyc7763();
+    const PlatformModel arm = platforms::graviton3();
+    out.push_back({"intel clflush", [=](std::size_t sz) {
+                       return intel.latency(sz, threads,
+                                            WbInstr::FlushSerial);
+                   }});
+    out.push_back({"intel clflushopt", [=](std::size_t sz) {
+                       return intel.latency(sz, threads, WbInstr::Flush);
+                   }});
+    out.push_back({"intel clwb", [=](std::size_t sz) {
+                       return intel.latency(sz, threads, WbInstr::Clean);
+                   }});
+    out.push_back({"amd clflush", [=](std::size_t sz) {
+                       return amd.latency(sz, threads,
+                                          WbInstr::FlushSerial);
+                   }});
+    out.push_back({"amd clflushopt", [=](std::size_t sz) {
+                       return amd.latency(sz, threads, WbInstr::Flush);
+                   }});
+    out.push_back({"graviton dccivac", [=](std::size_t sz) {
+                       return arm.latency(sz, threads, WbInstr::Flush);
+                   }});
+    out.push_back({"graviton dccvac", [=](std::size_t sz) {
+                       return arm.latency(sz, threads, WbInstr::Clean);
+                   }});
+    return out;
+}
+
+inline void
+printFigure(unsigned threads, const char *figure)
+{
+    std::printf("=== %s: comparative writeback latency (cycles), "
+                "%u thread(s) ===\n",
+                figure, threads);
+    const auto series = buildSeries(threads);
+    std::printf("%-18s", "platform/instr");
+    for (std::size_t sz : sizes)
+        std::printf("%10zu", sz);
+    std::printf("\n");
+    for (const Series &s : series) {
+        std::printf("%-18s", s.label);
+        for (std::size_t sz : sizes)
+            std::printf("%10.0f", s.latency(sz));
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+} // namespace skipit::bench_detail
+
+#endif // SKIPIT_BENCH_COMPARATIVE_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 11: single-thread comparative writeback latency. Expected shape:
+ * platforms similar at small sizes; Intel clflush significantly worse at
+ * >= 4 KiB; Graviton3 overtakes BOOM above 4 KiB.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "comparative.hh"
+
+using namespace skipit;
+using namespace skipit::bench_detail;
+
+namespace {
+
+void
+BM_Comparative1T(benchmark::State &state)
+{
+    const auto series = buildSeries(1);
+    const auto &s = series[static_cast<std::size_t>(state.range(0))];
+    const std::size_t bytes = static_cast<std::size_t>(state.range(1));
+    double latency = 0;
+    for (auto _ : state)
+        latency = s.latency(bytes);
+    state.SetLabel(s.label);
+    state.counters["sim_cycles"] = latency;
+}
+
+BENCHMARK(BM_Comparative1T)
+    ->ArgsProduct({{0, 2, 3, 7}, {64, 4096, 32768}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure(1, "Figure 11");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 12: comparative writeback latency with eight threads. Expected
+ * shape: latencies comparable across platforms, with Intel clflush only
+ * degrading above 16 KiB (each thread's share stays inside the overlap
+ * window below that).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "comparative.hh"
+
+using namespace skipit;
+using namespace skipit::bench_detail;
+
+namespace {
+
+void
+BM_Comparative8T(benchmark::State &state)
+{
+    const auto series = buildSeries(8);
+    const auto &s = series[static_cast<std::size_t>(state.range(0))];
+    const std::size_t bytes = static_cast<std::size_t>(state.range(1));
+    double latency = 0;
+    for (auto _ : state)
+        latency = s.latency(bytes);
+    state.SetLabel(s.label);
+    state.counters["sim_cycles"] = latency;
+}
+
+BENCHMARK(BM_Comparative8T)
+    ->ArgsProduct({{0, 2, 3, 7}, {64, 4096, 32768}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure(8, "Figure 12");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 14: throughput of the four persistent data structures under the
+ * three persistence algorithms (automatic, NVTraverse, manual) and the
+ * flush-avoidance schemes (plain, FliT-adjacent, FliT-hashtable,
+ * link-and-persist, Skip It), 5% updates, 2 threads. The non-persistent
+ * baseline is the paper's dark dotted reference line.
+ *
+ * Expected shape: Skip It >= both FliT variants almost everywhere;
+ * Skip It ~ link-and-persist except automatic linked-list/hash-table,
+ * where L&P's in-word bit test wins.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.hh"
+#include "sim/report.hh"
+
+using namespace skipit;
+using bench::DsKind;
+
+namespace {
+
+constexpr DsKind kinds[] = {DsKind::Bst, DsKind::HashTable, DsKind::List,
+                            DsKind::SkipList};
+constexpr PersistMode modes[] = {PersistMode::Automatic,
+                                 PersistMode::NvTraverse,
+                                 PersistMode::Manual};
+constexpr FlushPolicy policies[] = {
+    FlushPolicy::Plain, FlushPolicy::FlitAdjacent,
+    FlushPolicy::FlitHashTable, FlushPolicy::LinkAndPersist,
+    FlushPolicy::SkipIt};
+
+void
+printFigure()
+{
+    ReportTable csv("fig14",
+                    {"structure", "mode", "policy", "ops_per_mcycle"});
+    std::printf("=== Figure 14: throughput (ops per Mcycle), 5%% updates, "
+                "2 threads ===\n");
+    for (const DsKind kind : kinds) {
+        const auto base = bench::runThroughput(
+            kind, FlushPolicy::Plain, PersistMode::NonPersistent, 5.0);
+        std::printf("--- %s (non-persistent baseline: %.1f) ---\n",
+                    bench::name(kind), base.mops_per_mcycle);
+        std::printf("%-12s", "mode");
+        for (const FlushPolicy p : policies)
+            std::printf("%18s", toString(p));
+        std::printf("\n");
+        for (const PersistMode mode : modes) {
+            std::printf("%-12s", toString(mode));
+            for (const FlushPolicy p : policies) {
+                if (!bench::applicable(kind, p)) {
+                    std::printf("%18s", "n/a");
+                    continue;
+                }
+                const auto r = bench::runThroughput(kind, p, mode, 5.0);
+                std::printf("%18.1f", r.mops_per_mcycle);
+                csv.addRow({std::string(bench::name(kind)),
+                            std::string(toString(mode)),
+                            std::string(toString(p)),
+                            r.mops_per_mcycle});
+            }
+            std::printf("\n");
+        }
+    }
+    csv.writeCsvFile("fig14_ds_throughput.csv");
+    std::printf("\n");
+}
+
+void
+BM_DsThroughput(benchmark::State &state)
+{
+    const DsKind kind = kinds[state.range(0)];
+    const PersistMode mode = modes[state.range(1)];
+    const FlushPolicy policy = policies[state.range(2)];
+    if (!bench::applicable(kind, policy)) {
+        state.SkipWithError("link-and-persist not applicable to the BST");
+        return;
+    }
+    bench::ThroughputResult r;
+    for (auto _ : state)
+        r = bench::runThroughput(kind, policy, mode, 5.0);
+    state.SetLabel(std::string(bench::name(kind)) + "/" + toString(mode) +
+                   "/" + toString(policy));
+    state.counters["ops_per_mcycle"] = r.mops_per_mcycle;
+    state.counters["flushes"] = static_cast<double>(r.flushes);
+    state.counters["skipped_l1"] = static_cast<double>(r.skipped_l1);
+}
+
+BENCHMARK(BM_DsThroughput)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2}, {0, 4}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

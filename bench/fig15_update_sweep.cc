@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 15: throughput vs update percentage (0-100%) for each data
+ * structure and flush-avoidance scheme (automatic persistence, 2
+ * threads). Expected shape: throughput falls as updates grow; the gap
+ * between the schemes widens with update rate, Skip It staying at or
+ * near the top.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace skipit;
+using bench::DsKind;
+
+namespace {
+
+constexpr DsKind kinds[] = {DsKind::Bst, DsKind::HashTable, DsKind::List,
+                            DsKind::SkipList};
+constexpr FlushPolicy policies[] = {
+    FlushPolicy::Plain, FlushPolicy::FlitAdjacent,
+    FlushPolicy::FlitHashTable, FlushPolicy::LinkAndPersist,
+    FlushPolicy::SkipIt};
+constexpr double update_pcts[] = {0, 5, 20, 50, 100};
+
+void
+printFigure()
+{
+    std::printf("=== Figure 15: throughput (ops per Mcycle) vs update "
+                "%%, automatic persistence, 2 threads ===\n");
+    for (const DsKind kind : kinds) {
+        std::printf("--- %s ---\n", bench::name(kind));
+        std::printf("%-10s", "update%");
+        for (const FlushPolicy p : policies)
+            std::printf("%18s", toString(p));
+        std::printf("\n");
+        for (const double pct : update_pcts) {
+            std::printf("%-10.0f", pct);
+            for (const FlushPolicy p : policies) {
+                if (!bench::applicable(kind, p)) {
+                    std::printf("%18s", "n/a");
+                    continue;
+                }
+                const auto r = bench::runThroughput(
+                    kind, p, PersistMode::Automatic, pct);
+                std::printf("%18.1f", r.mops_per_mcycle);
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\n");
+}
+
+void
+BM_UpdateSweep(benchmark::State &state)
+{
+    const DsKind kind = kinds[state.range(0)];
+    const FlushPolicy policy = policies[state.range(1)];
+    const double pct = static_cast<double>(state.range(2));
+    if (!bench::applicable(kind, policy)) {
+        state.SkipWithError("link-and-persist not applicable to the BST");
+        return;
+    }
+    bench::ThroughputResult r;
+    for (auto _ : state)
+        r = bench::runThroughput(kind, policy, PersistMode::Automatic,
+                                 pct);
+    state.SetLabel(std::string(bench::name(kind)) + "/" +
+                   toString(policy));
+    state.counters["ops_per_mcycle"] = r.mops_per_mcycle;
+}
+
+BENCHMARK(BM_UpdateSweep)
+    ->ArgsProduct({{0, 2}, {0, 4}, {0, 50, 100}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 16: BST (10k keys) throughput vs FliT hash-table size. The
+ * paper's point: FliT's auxiliary table contends with the data for the
+ * SoC's small 544 KiB of cache, so throughput is highly sensitive to the
+ * table size — too small causes false-positive flushes from counter
+ * collisions, too large pollutes the cache. Skip It (no software
+ * metadata) is printed as the flat reference.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace skipit;
+using bench::DsKind;
+
+namespace {
+
+constexpr std::size_t table_sizes[] = {
+    std::size_t{1} << 10, std::size_t{1} << 12, std::size_t{1} << 14,
+    std::size_t{1} << 16, std::size_t{1} << 18, std::size_t{1} << 20,
+    std::size_t{1} << 22};
+
+void
+printFigure()
+{
+    std::printf("=== Figure 16: BST (10k keys) throughput vs FliT "
+                "hash-table size, automatic persistence ===\n");
+    std::printf("%-12s%20s\n", "entries", "ops_per_mcycle");
+    for (const std::size_t entries : table_sizes) {
+        const auto r = bench::runThroughput(
+            DsKind::Bst, FlushPolicy::FlitHashTable,
+            PersistMode::Automatic, 5.0, 2, 400'000, entries);
+        std::printf("%-12zu%20.1f\n", entries, r.mops_per_mcycle);
+    }
+    const auto skip = bench::runThroughput(
+        DsKind::Bst, FlushPolicy::SkipIt, PersistMode::Automatic, 5.0);
+    std::printf("%-12s%20.1f (no software metadata)\n", "skip-it",
+                skip.mops_per_mcycle);
+    std::printf("\n");
+}
+
+void
+BM_FlitSensitivity(benchmark::State &state)
+{
+    const std::size_t entries = static_cast<std::size_t>(state.range(0));
+    bench::ThroughputResult r;
+    for (auto _ : state)
+        r = bench::runThroughput(DsKind::Bst, FlushPolicy::FlitHashTable,
+                                 PersistMode::Automatic, 5.0, 2, 400'000,
+                                 entries);
+    state.counters["ops_per_mcycle"] = r.mops_per_mcycle;
+}
+
+BENCHMARK(BM_FlitSensitivity)
+    ->Arg(1 << 10)
+    ->Arg(1 << 16)
+    ->Arg(1 << 22)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

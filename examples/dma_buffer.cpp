@@ -1,0 +1,100 @@
+/**
+ * @file
+ * DMA scenario (paper §1, §2.5): before a device reads a buffer from main
+ * memory, the producer core must write the cached buffer back — otherwise
+ * the DMA engine sees stale memory.
+ *
+ * The "DMA engine" here reads the DRAM backing store directly, which is
+ * exactly what a non-coherent device sees. CBO.CLEAN is the right tool:
+ * it pushes the data to memory while keeping the core's cached copy for
+ * further processing.
+ */
+
+#include <cstdio>
+
+#include "soc/soc.hh"
+
+using namespace skipit;
+
+namespace {
+
+constexpr Addr buf_base = 0x40000;
+constexpr unsigned buf_lines = 16; // 1 KiB descriptor ring
+
+/** What a non-coherent DMA device reads from memory. */
+bool
+dmaSeesBuffer(Dram &dram, std::uint64_t expected_tag)
+{
+    for (unsigned i = 0; i < buf_lines; ++i) {
+        const Addr a = buf_base + static_cast<Addr>(i) * line_bytes;
+        if (dram.peekWord(a) != expected_tag + i)
+            return false;
+    }
+    return true;
+}
+
+Program
+produceBuffer(std::uint64_t tag, bool clean_after)
+{
+    Program p;
+    for (unsigned i = 0; i < buf_lines; ++i)
+        p.push_back(MemOp::store(buf_base + static_cast<Addr>(i) *
+                                 line_bytes, tag + i));
+    if (clean_after) {
+        for (unsigned i = 0; i < buf_lines; ++i)
+            p.push_back(MemOp::clean(buf_base + static_cast<Addr>(i) *
+                                     line_bytes));
+    }
+    p.push_back(MemOp::fence());
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    SoC soc{SoCConfig{}};
+
+    // Attempt 1: produce the buffer but skip the writebacks. The fence
+    // orders the stores, but they are still sitting dirty in the L1.
+    soc.hart(0).setProgram(produceBuffer(0x100, /*clean_after=*/false));
+    soc.runToQuiescence();
+    std::printf("without CBO.CLEAN: DMA engine sees valid buffer? %s\n",
+                dmaSeesBuffer(soc.dram(), 0x100) ? "yes" : "NO (stale!)");
+
+    // Attempt 2: clean every line before kicking the device.
+    soc.hart(0).setProgram(produceBuffer(0x200, /*clean_after=*/true));
+    const Cycle cycles = soc.runToCompletion();
+    std::printf("with CBO.CLEAN   : DMA engine sees valid buffer? %s "
+                "(%llu cycles)\n",
+                dmaSeesBuffer(soc.dram(), 0x200) ? "yes" : "NO (stale!)",
+                static_cast<unsigned long long>(cycles));
+
+    // The producer still owns the lines for the next iteration: the clean
+    // writeback did not invalidate them.
+    std::printf("producer still holds line 0 in state %s, dirty=%s\n",
+                toString(soc.l1(0).lineState(buf_base)),
+                soc.l1(0).lineDirty(buf_base) ? "yes" : "no");
+
+    // The reverse direction: the DEVICE writes memory and the core reads.
+    // Whatever the core has cached is now stale; CBO.INVAL (this repo's
+    // CMO-suite extension) discards the cached copies so the next load
+    // fetches the device's data.
+    LineData device_data{};
+    device_data[0] = 0xD1;
+    soc.dram().pokeLine(buf_base, device_data);
+    soc.hart(0).setProgram({MemOp::load(buf_base)});
+    soc.runToCompletion();
+    std::printf("device wrote DRAM; stale cached read: 0x%llx\n",
+                static_cast<unsigned long long>(soc.hart(0).loadValue(0)));
+    soc.hart(0).setProgram({
+        MemOp::inval(buf_base),
+        MemOp::fence(),
+        MemOp::load(buf_base),
+    });
+    soc.runToCompletion();
+    std::printf("after CBO.INVAL, fresh read : 0x%llx (device's data)\n",
+                static_cast<unsigned long long>(soc.hart(0).loadValue(2)));
+    return 0;
+}

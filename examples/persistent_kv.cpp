@@ -1,0 +1,98 @@
+/**
+ * @file
+ * NVMM scenario (paper §1, §7.4): a crash-consistent key-value store on
+ * non-volatile main memory, built on the persistent lock-free hash table
+ * with each flush-avoidance scheme, comparing throughput and the number
+ * of writebacks that actually reached memory.
+ *
+ * Run time is dominated by simulated cycles, not wall clock; every access
+ * goes through the execution-driven memory model (src/nvm).
+ */
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "ds/hash_table.hh"
+#include "sim/random.hh"
+
+using namespace skipit;
+
+namespace {
+
+struct Result
+{
+    double ops_per_mcycle;
+    std::uint64_t flushes;
+    std::uint64_t skipped;
+};
+
+Result
+runKv(FlushPolicy policy)
+{
+    MemSim mem(PersistCtx::machineFor(policy));
+    PersistConfig pcfg;
+    pcfg.policy = policy;
+    pcfg.mode = PersistMode::NvTraverse;
+    PersistCtx ctx(mem, pcfg);
+    HashTable kv(ctx, 1024);
+
+    // Two application threads hammer the store with a 20%-update mix.
+    constexpr unsigned threads = 2;
+    constexpr Cycle budget = 300'000;
+    std::vector<std::uint64_t> ops(threads, 0);
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            Rng rng(17 + t);
+            while (mem.clock(t) < budget) {
+                const std::uint64_t key = 1 + rng.below(1024);
+                const double dice = rng.uniform();
+                if (dice < 0.1) {
+                    kv.insert(t, key);
+                } else if (dice < 0.2) {
+                    kv.remove(t, key);
+                } else {
+                    kv.contains(t, key);
+                }
+                ++ops[t];
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    Cycle max_clock = 0;
+    std::uint64_t total = 0;
+    for (unsigned t = 0; t < threads; ++t) {
+        total += ops[t];
+        max_clock = std::max(max_clock, mem.clock(t));
+    }
+    return Result{static_cast<double>(total) * 1e6 /
+                      static_cast<double>(max_clock),
+                  mem.flushesIssued(), mem.flushesSkippedL1()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("persistent KV store (hash table, NVTraverse, 2 threads, "
+                "20%% updates)\n");
+    std::printf("%-18s%16s%12s%14s\n", "policy", "ops/Mcycle", "flushes",
+                "skip drops");
+    for (const FlushPolicy p :
+         {FlushPolicy::Plain, FlushPolicy::FlitAdjacent,
+          FlushPolicy::FlitHashTable, FlushPolicy::LinkAndPersist,
+          FlushPolicy::SkipIt}) {
+        const Result r = runKv(p);
+        std::printf("%-18s%16.1f%12llu%14llu\n", toString(p),
+                    r.ops_per_mcycle,
+                    static_cast<unsigned long long>(r.flushes),
+                    static_cast<unsigned long long>(r.skipped));
+    }
+    std::printf("\nSkip It needs no software bookkeeping: redundant "
+                "writebacks die in the L1 metadata check (paper §6).\n");
+    return 0;
+}

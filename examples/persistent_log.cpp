@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A crash-consistent write-ahead log on non-volatile main memory — the
+ * canonical pattern the paper's writeback instructions exist for (§1,
+ * §2.5): an entry must reach persistent memory *before* the head pointer
+ * that publishes it, which only explicit writebacks plus fences can
+ * guarantee.
+ *
+ * The example appends records, "crashes" the machine at a few arbitrary
+ * cycles (caches vanish, DRAM survives), and runs recovery on what's
+ * left — demonstrating that the committed prefix is always intact, and
+ * what goes wrong when the flushes are omitted.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "sim/report.hh"
+#include "soc/soc.hh"
+
+using namespace skipit;
+
+namespace {
+
+constexpr Addr log_base = 0x100000;
+constexpr Addr head_addr = 0x200000;
+constexpr unsigned entries = 10;
+
+Program
+appendAll(bool persist_entries)
+{
+    Program p;
+    for (unsigned i = 0; i < entries; ++i) {
+        const Addr entry = log_base + static_cast<Addr>(i) * line_bytes;
+        p.push_back(MemOp::store(entry, 0xBEEF0000 + i));
+        if (persist_entries) {
+            p.push_back(MemOp::flush(entry));
+            p.push_back(MemOp::fence());
+        }
+        p.push_back(MemOp::store(head_addr, i + 1));
+        p.push_back(MemOp::flush(head_addr));
+        p.push_back(MemOp::fence());
+    }
+    return p;
+}
+
+/** Post-crash recovery: how many published entries are actually there? */
+unsigned
+recover(const Dram &dram, unsigned &head_out)
+{
+    const std::uint64_t head = dram.peekWord(head_addr);
+    unsigned intact = 0;
+    for (std::uint64_t i = 0; i < head && i < entries; ++i) {
+        const Addr entry = log_base + static_cast<Addr>(i) * line_bytes;
+        if (dram.peekWord(entry) == 0xBEEF0000 + i)
+            ++intact;
+    }
+    head_out = static_cast<unsigned>(head);
+    return intact;
+}
+
+} // namespace
+
+int
+main()
+{
+    ReportTable table("write-ahead log: crash at cycle N, then recover",
+                      {"protocol", "crash_cycle", "published", "intact",
+                       "recoverable"});
+
+    for (const bool correct : {true, false}) {
+        // Total runtime of this protocol variant.
+        Cycle total = 0;
+        {
+            SoC soc{SoCConfig{}};
+            soc.hart(0).setProgram(appendAll(correct));
+            total = soc.runToQuiescence();
+        }
+        for (const Cycle crash :
+             {total / 5, total / 2, total * 4 / 5, total}) {
+            SoC soc{SoCConfig{}};
+            soc.hart(0).setProgram(appendAll(correct));
+            soc.sim().run(crash);
+            unsigned head = 0;
+            const unsigned intact = recover(soc.dram(), head);
+            table.addRow({std::string(correct ? "flush+fence"
+                                              : "missing flush"),
+                          std::uint64_t{crash}, std::uint64_t{head},
+                          std::uint64_t{intact},
+                          std::string(intact >= head ? "yes"
+                                                     : "DATA LOSS")});
+        }
+    }
+    table.renderText(std::cout);
+    std::printf("\nWith the writeback protocol every crash point leaves "
+                "the published prefix intact;\nwithout it the head can "
+                "point at entries that never reached memory.\n");
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * TileLink-style coherence permission lattice (§2.2 of the paper).
+ *
+ * A client cache holds a line with one of three permission levels:
+ *   Nothing — no copy (MESI Invalid)
+ *   Branch  — read-only copy, possibly shared (MESI Shared)
+ *   Trunk   — exclusive read/write copy (MESI Exclusive/Modified; a separate
+ *             dirty flag distinguishes E from M)
+ *
+ * Acquire messages *grow* permissions, Probe messages *cap* them, and
+ * Release / ProbeAck messages *shrink and report* the transition taken.
+ */
+
+#ifndef SKIPIT_COHERENCE_STATE_HH
+#define SKIPIT_COHERENCE_STATE_HH
+
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace skipit {
+
+/** Permission level a client holds on a cache line. */
+enum class ClientState { Nothing, Branch, Trunk };
+
+/** Acquire (channel A) grow parameter. */
+enum class Grow { NtoB, NtoT, BtoT };
+
+/** Probe / Grant (channels B, D) permission cap. */
+enum class Cap { toT, toB, toN };
+
+/** Release / ProbeAck (channel C) shrink-and-report parameter. */
+enum class Shrink { TtoB, TtoN, BtoN, TtoT, BtoB, NtoN };
+
+/** Can a client with @p s satisfy a read? */
+constexpr bool
+canRead(ClientState s)
+{
+    return s != ClientState::Nothing;
+}
+
+/** Can a client with @p s satisfy a write? */
+constexpr bool
+canWrite(ClientState s)
+{
+    return s == ClientState::Trunk;
+}
+
+/** The grow parameter needed to move from @p from to a state that can
+ *  serve a write (if @p want_write) or a read. */
+inline Grow
+growFor(ClientState from, bool want_write)
+{
+    switch (from) {
+      case ClientState::Nothing:
+        return want_write ? Grow::NtoT : Grow::NtoB;
+      case ClientState::Branch:
+        SKIPIT_ASSERT(want_write, "no grow needed: Branch can already read");
+        return Grow::BtoT;
+      default:
+        SKIPIT_PANIC("growFor from Trunk: nothing to grow");
+    }
+}
+
+/** Permission level implied by a grant/probe cap. */
+constexpr ClientState
+stateForCap(Cap c)
+{
+    switch (c) {
+      case Cap::toT:
+        return ClientState::Trunk;
+      case Cap::toB:
+        return ClientState::Branch;
+      default:
+        return ClientState::Nothing;
+    }
+}
+
+/** The cap a grow parameter is asking for. */
+constexpr Cap
+capForGrow(Grow g)
+{
+    return g == Grow::NtoB ? Cap::toB : Cap::toT;
+}
+
+/** True if the permissions granted by @p cap suffice for @p g. */
+constexpr bool
+capSatisfiesGrow(Cap cap, Grow g)
+{
+    return cap == Cap::toT || (cap == Cap::toB && g == Grow::NtoB);
+}
+
+/** Shrink/report parameter for moving from @p from down to @p to. */
+inline Shrink
+shrinkFor(ClientState from, ClientState to)
+{
+    using S = ClientState;
+    if (from == S::Trunk && to == S::Branch)
+        return Shrink::TtoB;
+    if (from == S::Trunk && to == S::Nothing)
+        return Shrink::TtoN;
+    if (from == S::Branch && to == S::Nothing)
+        return Shrink::BtoN;
+    if (from == S::Trunk && to == S::Trunk)
+        return Shrink::TtoT;
+    if (from == S::Branch && to == S::Branch)
+        return Shrink::BtoB;
+    if (from == S::Nothing && to == S::Nothing)
+        return Shrink::NtoN;
+    SKIPIT_PANIC("illegal shrink transition");
+}
+
+/** New client state after being capped to @p cap (cannot grow). */
+constexpr ClientState
+applyCap(ClientState s, Cap cap)
+{
+    const ClientState capped = stateForCap(cap);
+    return static_cast<int>(capped) < static_cast<int>(s) ? capped : s;
+}
+
+inline const char *
+toString(ClientState s)
+{
+    switch (s) {
+      case ClientState::Nothing:
+        return "Nothing";
+      case ClientState::Branch:
+        return "Branch";
+      default:
+        return "Trunk";
+    }
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, ClientState s)
+{
+    return os << toString(s);
+}
+
+} // namespace skipit
+
+#endif // SKIPIT_COHERENCE_STATE_HH

@@ -1,0 +1,206 @@
+#include "asm.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace skipit {
+
+namespace {
+
+std::uint64_t
+parseNumber(const std::string &tok, const std::string &line)
+{
+    try {
+        return std::stoull(tok, nullptr, 0); // handles 0x..., decimal
+    } catch (const std::exception &) {
+        SKIPIT_FATAL("bad number '", tok, "' in line: ", line);
+    }
+}
+
+} // namespace
+
+Program
+assembleProgram(const std::string &listing)
+{
+    Program program;
+    std::istringstream in(listing);
+    std::string raw;
+    while (std::getline(in, raw)) {
+        // Strip comments.
+        const auto cut = raw.find_first_of(";#");
+        std::string line = cut == std::string::npos ? raw
+                                                    : raw.substr(0, cut);
+        std::istringstream ls(line);
+        std::string op;
+        if (!(ls >> op))
+            continue; // blank line
+
+        std::string a, b;
+        ls >> a >> b;
+        if (op == "store") {
+            if (a.empty() || b.empty())
+                SKIPIT_FATAL("store needs address and value: ", raw);
+            program.push_back(MemOp::store(parseNumber(a, raw),
+                                           parseNumber(b, raw)));
+        } else if (op == "load") {
+            if (a.empty())
+                SKIPIT_FATAL("load needs an address: ", raw);
+            program.push_back(MemOp::load(parseNumber(a, raw)));
+        } else if (op == "cbo.clean") {
+            if (a.empty())
+                SKIPIT_FATAL("cbo.clean needs an address: ", raw);
+            program.push_back(MemOp::clean(parseNumber(a, raw)));
+        } else if (op == "cbo.flush") {
+            if (a.empty())
+                SKIPIT_FATAL("cbo.flush needs an address: ", raw);
+            program.push_back(MemOp::flush(parseNumber(a, raw)));
+        } else if (op == "cbo.inval") {
+            if (a.empty())
+                SKIPIT_FATAL("cbo.inval needs an address: ", raw);
+            program.push_back(MemOp::inval(parseNumber(a, raw)));
+        } else if (op == "cbo.zero") {
+            if (a.empty())
+                SKIPIT_FATAL("cbo.zero needs an address: ", raw);
+            program.push_back(MemOp::zero(parseNumber(a, raw)));
+        } else if (op == "fence") {
+            program.push_back(MemOp::fence());
+        } else if (op == "delay") {
+            if (a.empty())
+                SKIPIT_FATAL("delay needs a cycle count: ", raw);
+            program.push_back(MemOp::compute(parseNumber(a, raw)));
+        } else if (op == "rdcycle") {
+            if (a.empty())
+                SKIPIT_FATAL("rdcycle needs a marker id: ", raw);
+            program.push_back(MemOp::marker(parseNumber(a, raw)));
+        } else {
+            SKIPIT_FATAL("unknown mnemonic '", op, "' in line: ", raw);
+        }
+    }
+    return program;
+}
+
+std::string
+disassembleProgram(const Program &program)
+{
+    std::ostringstream out;
+    out << std::hex;
+    for (const MemOp &op : program) {
+        switch (op.kind) {
+          case MemOpKind::Load:
+            out << "load 0x" << op.addr << "\n";
+            break;
+          case MemOpKind::Store:
+            out << "store 0x" << op.addr << " 0x" << op.data << "\n";
+            break;
+          case MemOpKind::CboClean:
+            out << "cbo.clean 0x" << op.addr << "\n";
+            break;
+          case MemOpKind::CboFlush:
+            out << "cbo.flush 0x" << op.addr << "\n";
+            break;
+          case MemOpKind::CboInval:
+            out << "cbo.inval 0x" << op.addr << "\n";
+            break;
+          case MemOpKind::CboZero:
+            out << "cbo.zero 0x" << op.addr << "\n";
+            break;
+          case MemOpKind::Fence:
+            out << "fence\n";
+            break;
+          case MemOpKind::Delay:
+            out << "delay " << std::dec << op.delay << std::hex << "\n";
+            break;
+          case MemOpKind::Marker:
+            out << "rdcycle " << std::dec << op.data << std::hex << "\n";
+            break;
+        }
+    }
+    return out.str();
+}
+
+namespace riscv {
+
+namespace {
+
+constexpr std::uint32_t misc_mem_opcode = 0b0001111;
+constexpr std::uint32_t funct3_cbo = 0b010;
+constexpr std::uint32_t funct3_fence = 0b000;
+constexpr std::uint32_t cbo_inval_imm = 0;
+constexpr std::uint32_t cbo_clean_imm = 1;
+constexpr std::uint32_t cbo_flush_imm = 2;
+constexpr std::uint32_t cbo_zero_imm = 4;
+
+std::uint32_t
+encodeCbo(std::uint32_t imm, unsigned rs1)
+{
+    SKIPIT_ASSERT(rs1 < 32, "rs1 out of range");
+    return (imm << 20) | (static_cast<std::uint32_t>(rs1) << 15) |
+           (funct3_cbo << 12) | misc_mem_opcode;
+}
+
+} // namespace
+
+std::uint32_t
+encodeCboClean(unsigned rs1)
+{
+    return encodeCbo(cbo_clean_imm, rs1);
+}
+
+std::uint32_t
+encodeCboFlush(unsigned rs1)
+{
+    return encodeCbo(cbo_flush_imm, rs1);
+}
+
+std::uint32_t
+encodeCboInval(unsigned rs1)
+{
+    return encodeCbo(cbo_inval_imm, rs1);
+}
+
+std::uint32_t
+encodeCboZero(unsigned rs1)
+{
+    return encodeCbo(cbo_zero_imm, rs1);
+}
+
+std::uint32_t
+encodeFence(unsigned pred, unsigned succ)
+{
+    SKIPIT_ASSERT(pred < 16 && succ < 16, "fence sets are 4-bit IORW");
+    return (static_cast<std::uint32_t>(pred) << 24) |
+           (static_cast<std::uint32_t>(succ) << 20) |
+           (funct3_fence << 12) | misc_mem_opcode;
+}
+
+std::uint32_t
+encodeFenceRwRw()
+{
+    return encodeFence(0b0011, 0b0011);
+}
+
+const char *
+decodeKind(std::uint32_t insn)
+{
+    if ((insn & 0x7f) != misc_mem_opcode)
+        return "unknown";
+    const std::uint32_t funct3 = (insn >> 12) & 0x7;
+    if (funct3 == funct3_fence)
+        return "fence";
+    if (funct3 == funct3_cbo) {
+        const std::uint32_t imm = insn >> 20;
+        if (imm == cbo_inval_imm)
+            return "cbo.inval";
+        if (imm == cbo_clean_imm)
+            return "cbo.clean";
+        if (imm == cbo_flush_imm)
+            return "cbo.flush";
+        if (imm == cbo_zero_imm)
+            return "cbo.zero";
+    }
+    return "unknown";
+}
+
+} // namespace riscv
+} // namespace skipit

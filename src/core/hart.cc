@@ -1,0 +1,88 @@
+#include "hart.hh"
+
+namespace skipit {
+
+Hart::Hart(std::string name, Simulator &sim, Lsu &lsu,
+           unsigned dispatch_width)
+    : Ticked(std::move(name)), sim_(sim), lsu_(lsu),
+      dispatch_width_(dispatch_width)
+{
+}
+
+void
+Hart::setProgram(Program program)
+{
+    SKIPIT_ASSERT(lsu_.empty(), "setProgram with in-flight operations");
+    program_ = std::move(program);
+    pc_ = 0;
+    stall_until_ = 0;
+    load_tickets_.clear();
+    markers_.clear();
+    marker_waiting_ = false;
+    lsu_.clearResults();
+}
+
+bool
+Hart::done() const
+{
+    return pc_ >= program_.size() && lsu_.empty() && !marker_waiting_;
+}
+
+Cycle
+Hart::markerCycle(std::uint64_t id) const
+{
+    auto it = markers_.find(id);
+    SKIPIT_ASSERT(it != markers_.end(), "marker ", id, " never executed");
+    return it->second;
+}
+
+std::uint64_t
+Hart::loadValue(std::size_t op_idx) const
+{
+    auto it = load_tickets_.find(op_idx);
+    SKIPIT_ASSERT(it != load_tickets_.end(), "op ", op_idx, " is not a "
+                  "dispatched load");
+    return lsu_.loadValue(it->second);
+}
+
+void
+Hart::tick()
+{
+    if (sim_.now() < stall_until_)
+        return;
+    if (marker_waiting_) {
+        // RDCYCLE after the measured section: wait until every older
+        // memory operation retired, then latch the cycle.
+        if (!lsu_.empty())
+            return;
+        markers_[pending_marker_] = sim_.now();
+        marker_waiting_ = false;
+    }
+    for (unsigned n = 0; n < dispatch_width_ && pc_ < program_.size(); ++n) {
+        const MemOp &op = program_[pc_];
+        if (op.kind == MemOpKind::Delay) {
+            stall_until_ = sim_.now() + op.delay;
+            ++pc_;
+            return;
+        }
+        if (op.kind == MemOpKind::Marker) {
+            ++pc_;
+            if (lsu_.empty()) {
+                markers_[op.data] = sim_.now();
+            } else {
+                marker_waiting_ = true;
+                pending_marker_ = op.data;
+                return;
+            }
+            continue;
+        }
+        if (!lsu_.canDispatch())
+            return;
+        const std::uint64_t ticket = lsu_.dispatch(op);
+        if (op.kind == MemOpKind::Load)
+            load_tickets_[pc_] = ticket;
+        ++pc_;
+    }
+}
+
+} // namespace skipit

@@ -1,0 +1,232 @@
+#include "lsu.hh"
+
+namespace skipit {
+
+Lsu::Lsu(std::string name, Simulator &sim, const LsuConfig &cfg,
+         DataCache &dcache, Stats &stats)
+    : Ticked(std::move(name)), sim_(sim), cfg_(cfg), dcache_(dcache),
+      stats_(stats), sp_(Ticked::name() + ".")
+{
+    SKIPIT_ASSERT(cfg.window > 0, "LSU window must be > 0");
+}
+
+std::uint64_t
+Lsu::dispatch(const MemOp &op)
+{
+    SKIPIT_ASSERT(canDispatch(), "dispatch into a full LSU window");
+    SKIPIT_ASSERT(op.kind != MemOpKind::Delay,
+                  "Delay ops are handled by the Hart, not the LSU");
+    Entry e;
+    e.op = op;
+    e.ticket = next_ticket_++;
+    window_.push_back(e);
+    return e.ticket;
+}
+
+bool
+Lsu::isDone(std::uint64_t ticket) const
+{
+    if (ticket <= retired_upto_)
+        return true;
+    for (const Entry &e : window_) {
+        if (e.ticket == ticket)
+            return e.state == EntryState::Done;
+    }
+    return true; // not in window and past the head: retired
+}
+
+std::uint64_t
+Lsu::loadValue(std::uint64_t ticket) const
+{
+    auto it = load_results_.find(ticket);
+    SKIPIT_ASSERT(it != load_results_.end(),
+                  "loadValue for unknown or incomplete load");
+    return it->second;
+}
+
+Lsu::Entry *
+Lsu::entryForTicket(std::uint64_t ticket)
+{
+    for (Entry &e : window_) {
+        if (e.ticket == ticket)
+            return &e;
+    }
+    return nullptr;
+}
+
+const Lsu::Entry *
+Lsu::forwardingStore(std::size_t load_idx) const
+{
+    const MemOp &load = window_[load_idx].op;
+    for (std::size_t i = load_idx; i-- > 0;) {
+        const Entry &e = window_[i];
+        if (e.op.kind != MemOpKind::Store)
+            continue;
+        if (e.op.addr == load.addr && e.op.size == load.size)
+            return &e;
+        if (sameLine(e.op.addr, load.addr)) {
+            // Overlapping but not word-exact: cannot forward; the caller
+            // must wait for the store to complete.
+            return nullptr;
+        }
+    }
+    return nullptr;
+}
+
+bool
+Lsu::olderAllDone(std::size_t idx) const
+{
+    for (std::size_t i = 0; i < idx; ++i) {
+        if (window_[i].state != EntryState::Done)
+            return false;
+    }
+    return true;
+}
+
+bool
+Lsu::olderFencePending(std::size_t idx) const
+{
+    for (std::size_t i = 0; i < idx; ++i) {
+        if (window_[i].op.kind == MemOpKind::Fence &&
+            window_[i].state != EntryState::Done) {
+            return true;
+        }
+    }
+    return false;
+}
+
+CpuReq
+Lsu::toCpuReq(const Entry &e) const
+{
+    CpuReq req;
+    req.addr = e.op.addr;
+    req.size = e.op.size;
+    req.data = e.op.data;
+    req.id = e.ticket;
+    switch (e.op.kind) {
+      case MemOpKind::Load:
+        req.kind = CpuOpKind::Load;
+        break;
+      case MemOpKind::Store:
+        req.kind = CpuOpKind::Store;
+        break;
+      case MemOpKind::CboClean:
+        req.kind = CpuOpKind::CboClean;
+        break;
+      case MemOpKind::CboFlush:
+        req.kind = CpuOpKind::CboFlush;
+        break;
+      case MemOpKind::CboInval:
+        req.kind = CpuOpKind::CboInval;
+        break;
+      case MemOpKind::CboZero:
+        req.kind = CpuOpKind::CboZero;
+        break;
+      default:
+        SKIPIT_PANIC("op kind cannot fire into the cache");
+    }
+    return req;
+}
+
+void
+Lsu::drainResponses()
+{
+    while (dcache_.respReady()) {
+        const CpuResp resp = dcache_.popResp();
+        Entry *e = entryForTicket(resp.id);
+        SKIPIT_ASSERT(e != nullptr, "response for retired ticket");
+        SKIPIT_ASSERT(e->state == EntryState::Fired,
+                      "response for unfired entry");
+        if (resp.nack) {
+            e->state = EntryState::Waiting;
+            e->retry_at = sim_.now() + cfg_.retry_backoff;
+            stats_[sp_ + "retries"]++;
+        } else {
+            e->state = EntryState::Done;
+            if (e->op.kind == MemOpKind::Load) {
+                e->load_value = resp.data;
+                load_results_[e->ticket] = resp.data;
+            }
+        }
+    }
+}
+
+void
+Lsu::fire()
+{
+    unsigned fired = 0;
+    for (std::size_t i = 0;
+         i < window_.size() && fired < cfg_.fires_per_cycle; ++i) {
+        Entry &e = window_[i];
+        if (e.state != EntryState::Waiting || sim_.now() < e.retry_at)
+            continue;
+
+        if (e.op.kind == MemOpKind::Fence) {
+            // FENCE RW,RW: commits once everything older is complete and
+            // no flush request is pending in the flush unit (§5.3).
+            if (olderAllDone(i) && !dcache_.flushing()) {
+                e.state = EntryState::Done;
+                stats_[sp_ + "fences"]++;
+            }
+            continue;
+        }
+
+        if (e.op.kind == MemOpKind::Load) {
+            if (olderFencePending(i))
+                continue;
+            if (const Entry *st = forwardingStore(i)) {
+                // Store-to-load forwarding from the STQ (§3.2).
+                e.load_value = st->op.data;
+                load_results_[e.ticket] = st->op.data;
+                e.state = EntryState::Done;
+                stats_[sp_ + "stl_forwards"]++;
+                continue;
+            }
+            // An older overlapping (non-forwardable) store must drain
+            // before the load may fire.
+            bool blocked = false;
+            for (std::size_t j = 0; j < i; ++j) {
+                const Entry &older = window_[j];
+                if (older.state != EntryState::Done &&
+                    older.op.kind != MemOpKind::Load &&
+                    sameLine(older.op.addr, e.op.addr)) {
+                    blocked = true;
+                    break;
+                }
+            }
+            if (blocked)
+                continue;
+            dcache_.submit(toCpuReq(e));
+            e.state = EntryState::Fired;
+            ++fired;
+            continue;
+        }
+
+        // STQ request (store or CBO.X): fires only once everything older
+        // has completed, i.e. when the ROB head points at it (§3.2, §5.1).
+        if (!olderAllDone(i))
+            continue;
+        dcache_.submit(toCpuReq(e));
+        e.state = EntryState::Fired;
+        ++fired;
+    }
+}
+
+void
+Lsu::retire()
+{
+    while (!window_.empty() && window_.front().state == EntryState::Done) {
+        retired_upto_ = window_.front().ticket;
+        window_.pop_front();
+    }
+}
+
+void
+Lsu::tick()
+{
+    drainResponses();
+    fire();
+    retire();
+}
+
+} // namespace skipit

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The memory-operation "instruction set" harts execute.
+ *
+ * Programs are straight-line sequences of memory operations plus Delay
+ * (compute) ops — exactly what the paper's microbenchmarks consist of
+ * (store / CBO.CLEAN / CBO.FLUSH / FENCE / load sequences, §7).
+ */
+
+#ifndef SKIPIT_CORE_MEM_OP_HH
+#define SKIPIT_CORE_MEM_OP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace skipit {
+
+/** Operation kinds a Hart can issue. */
+enum class MemOpKind
+{
+    Load,     //!< read `size` bytes at addr
+    Store,    //!< write `size` bytes at addr
+    CboClean, //!< CBO.CLEAN: non-invalidating writeback of addr's line
+    CboFlush, //!< CBO.FLUSH: invalidating writeback of addr's line
+    CboInval, //!< CBO.INVAL: discard all cached copies, NO writeback
+    CboZero,  //!< CBO.ZERO: write zeros to the whole cache block
+    Fence,    //!< FENCE RW,RW extended to wait on the flush counter (§5.3)
+    Delay,    //!< stall dispatch for `delay` cycles (models compute)
+    Marker,   //!< RDCYCLE (§7.1): record the current cycle, zero cost
+};
+
+/** One operation of a hart's program. */
+struct MemOp
+{
+    MemOpKind kind = MemOpKind::Load;
+    Addr addr = 0;
+    unsigned size = 8;
+    std::uint64_t data = 0; //!< store payload
+    Cycle delay = 0;        //!< Delay duration
+
+    static MemOp
+    load(Addr a, unsigned size = 8)
+    {
+        return MemOp{MemOpKind::Load, a, size, 0, 0};
+    }
+
+    static MemOp
+    store(Addr a, std::uint64_t v, unsigned size = 8)
+    {
+        return MemOp{MemOpKind::Store, a, size, v, 0};
+    }
+
+    static MemOp
+    clean(Addr a)
+    {
+        return MemOp{MemOpKind::CboClean, a, 0, 0, 0};
+    }
+
+    static MemOp
+    flush(Addr a)
+    {
+        return MemOp{MemOpKind::CboFlush, a, 0, 0, 0};
+    }
+
+    static MemOp
+    inval(Addr a)
+    {
+        return MemOp{MemOpKind::CboInval, a, 0, 0, 0};
+    }
+
+    static MemOp
+    zero(Addr a)
+    {
+        return MemOp{MemOpKind::CboZero, a, 0, 0, 0};
+    }
+
+    static MemOp
+    fence()
+    {
+        return MemOp{MemOpKind::Fence, 0, 0, 0, 0};
+    }
+
+    static MemOp
+    compute(Cycle n)
+    {
+        return MemOp{MemOpKind::Delay, 0, 0, 0, n};
+    }
+
+    /** RDCYCLE-style timestamp; read back via Hart::markerCycle(id). */
+    static MemOp
+    marker(std::uint64_t id)
+    {
+        return MemOp{MemOpKind::Marker, 0, 0, id, 0};
+    }
+};
+
+/** A straight-line program for one hart. */
+using Program = std::vector<MemOp>;
+
+} // namespace skipit
+
+#endif // SKIPIT_CORE_MEM_OP_HH

@@ -1,0 +1,84 @@
+#include "dram.hh"
+
+#include <cstring>
+
+namespace skipit {
+
+Dram::Dram(std::string name, Simulator &sim, const DramConfig &cfg,
+           Stats &stats)
+    : Ticked(std::move(name)), sim_(sim), cfg_(cfg), stats_(stats),
+      req_q_(cfg.max_inflight), resp_q_(sim)
+{
+    SKIPIT_ASSERT(cfg_.issue_interval >= 1, "issue_interval must be >= 1");
+}
+
+bool
+Dram::canAccept() const
+{
+    return !req_q_.full();
+}
+
+void
+Dram::submit(const MemReq &req)
+{
+    SKIPIT_ASSERT(canAccept(), "submit to full DRAM queue");
+    SKIPIT_ASSERT(lineAlign(req.addr) == req.addr,
+                  "DRAM requests must be line aligned");
+    const bool pushed = req_q_.tryPush(req);
+    SKIPIT_ASSERT(pushed, "DRAM push failed");
+    stats_[req.write ? "dram.writes" : "dram.reads"]++;
+}
+
+void
+Dram::tick()
+{
+    if (req_q_.empty() || sim_.now() < next_issue_)
+        return;
+
+    MemReq req = req_q_.pop();
+    next_issue_ = sim_.now() + cfg_.issue_interval;
+
+    MemResp resp;
+    resp.write = req.write;
+    resp.addr = req.addr;
+    resp.tag = req.tag;
+    if (req.write) {
+        store_[req.addr] = req.data;
+        resp_q_.pushIn(resp, cfg_.write_ack_latency);
+    } else {
+        resp.data = peekLine(req.addr);
+        resp_q_.pushIn(resp, cfg_.latency);
+    }
+}
+
+MemResp
+Dram::popResp()
+{
+    return resp_q_.pop();
+}
+
+LineData
+Dram::peekLine(Addr line_addr) const
+{
+    auto it = store_.find(lineAlign(line_addr));
+    if (it == store_.end())
+        return LineData{}; // untouched memory reads as zero
+    return it->second;
+}
+
+void
+Dram::pokeLine(Addr line_addr, const LineData &data)
+{
+    store_[lineAlign(line_addr)] = data;
+}
+
+std::uint64_t
+Dram::peekWord(Addr addr) const
+{
+    const LineData line = peekLine(addr);
+    std::uint64_t v = 0;
+    std::memcpy(&v, line.data() + lineOffset(addr & ~Addr{7}), sizeof(v));
+    return v;
+}
+
+} // namespace skipit

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A fixed-latency, bandwidth-limited DRAM controller with a functional
+ * backing store.
+ *
+ * Substitutes for FASED (§7.1): the paper uses an FPGA-hosted realistic
+ * DRAM model purely to provide credible memory latency; here a single
+ * closed-page latency plus an issue-rate limit and bounded in-flight window
+ * capture the first-order behaviour. The functional backing store is what
+ * crash-consistency tests inspect: after CBO.X + fence, the line's bytes
+ * must be present here.
+ */
+
+#ifndef SKIPIT_DRAM_DRAM_HH
+#define SKIPIT_DRAM_DRAM_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/queues.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+#include "sim/types.hh"
+#include "tilelink/messages.hh"
+
+namespace skipit {
+
+/** A line-granularity memory request from the LLC. */
+struct MemReq
+{
+    bool write = false;
+    Addr addr = 0;        //!< line-aligned
+    LineData data{};      //!< valid for writes
+    std::uint64_t tag = 0; //!< opaque id echoed in the response
+};
+
+/** Completion of a MemReq. */
+struct MemResp
+{
+    bool write = false;
+    Addr addr = 0;
+    LineData data{};      //!< valid for reads
+    std::uint64_t tag = 0;
+};
+
+/** DRAM controller parameters. */
+struct DramConfig
+{
+    Cycle latency = 80;          //!< read (closed-page access) latency
+    /** Write acknowledgement latency: writes ack once they are safely in
+     *  the controller's write queue, long before the array update — this
+     *  is what lets many writebacks overlap in hardware. */
+    Cycle write_ack_latency = 20;
+    unsigned max_inflight = 64;  //!< outstanding request window
+    unsigned issue_interval = 2; //!< min cycles between issued requests
+};
+
+/**
+ * The memory controller. The LLC submits line reads/writes; responses
+ * appear on popResp() after the configured latency, subject to the issue
+ * rate and in-flight limits.
+ */
+class Dram : public Ticked
+{
+  public:
+    Dram(std::string name, Simulator &sim, const DramConfig &cfg,
+         Stats &stats);
+
+    void tick() override;
+
+    /** Can a new request be submitted this cycle? */
+    bool canAccept() const;
+
+    /** Submit a request; undefined behaviour unless canAccept(). */
+    void submit(const MemReq &req);
+
+    bool respReady() const { return resp_q_.ready(); }
+    MemResp popResp();
+    unsigned inflight() const { return inflight_; }
+
+    /// @name Functional backing store (test / checkpoint interface)
+    /// @{
+    /** Read a line's current content; zero-filled if never written. */
+    LineData peekLine(Addr line_addr) const;
+    /** Directly deposit a line (test setup). */
+    void pokeLine(Addr line_addr, const LineData &data);
+    /** Read one 64-bit word straight from the backing store. */
+    std::uint64_t peekWord(Addr addr) const;
+    /// @}
+
+  private:
+    Simulator &sim_;
+    DramConfig cfg_;
+    Stats &stats_;
+
+    BoundedFifo<MemReq> req_q_;
+    CompletionBuffer<MemResp> resp_q_;
+    std::unordered_map<Addr, LineData> store_;
+    unsigned inflight_ = 0;
+    Cycle next_issue_ = 0;
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_DRAM_DRAM_HH

@@ -1,0 +1,250 @@
+#include "bst.hh"
+
+#include "sim/logging.hh"
+
+namespace skipit {
+
+namespace {
+constexpr std::uint64_t inf0 = max_user_key + 1;
+constexpr std::uint64_t inf1 = max_user_key + 2;
+constexpr std::uint64_t inf2 = max_user_key + 3;
+} // namespace
+
+Bst::Bst(PersistCtx &ctx) : ctx_(ctx)
+{
+    auto mkLeaf = [](std::uint64_t key) {
+        Node *n = new Node;
+        n->key.store(key, std::memory_order_relaxed);
+        n->left.store(0, std::memory_order_relaxed);
+        n->right.store(0, std::memory_order_relaxed);
+        n->is_leaf = true;
+        return n;
+    };
+    auto mkInternal = [](std::uint64_t key, Node *l, Node *r) {
+        Node *n = new Node;
+        n->key.store(key, std::memory_order_relaxed);
+        n->left.store(reinterpret_cast<std::uint64_t>(l),
+                      std::memory_order_relaxed);
+        n->right.store(reinterpret_cast<std::uint64_t>(r),
+                       std::memory_order_relaxed);
+        n->is_leaf = false;
+        return n;
+    };
+    // Standard sentinel arrangement of [53]: R(inf2) -> {S(inf1), leaf
+    // (inf2)}; S -> {leaf(inf0), leaf(inf1)}. All user keys route to the
+    // left subtree of S.
+    s_ = mkInternal(inf1, mkLeaf(inf0), mkLeaf(inf1));
+    root_ = mkInternal(inf2, s_, mkLeaf(inf2));
+}
+
+Bst::Node *
+Bst::newLeaf(unsigned tid, std::uint64_t key)
+{
+    Node *n = new Node;
+    ctx_.writePlain(tid, n->key, key);
+    ctx_.writePlain(tid, n->left, 0);
+    ctx_.writePlain(tid, n->right, 0);
+    n->is_leaf = true;
+    return n;
+}
+
+Bst::Node *
+Bst::newInternal(unsigned tid, std::uint64_t key, std::uint64_t left_raw,
+                 std::uint64_t right_raw)
+{
+    Node *n = new Node;
+    ctx_.writePlain(tid, n->key, key);
+    ctx_.writePlain(tid, n->left, left_raw);
+    ctx_.writePlain(tid, n->right, right_raw);
+    n->is_leaf = false;
+    return n;
+}
+
+std::atomic<std::uint64_t> &
+Bst::childEdge(Node *node, std::uint64_t key, unsigned tid)
+{
+    const std::uint64_t nkey = ctx_.readTrav(tid, node->key);
+    return key < nkey ? node->left : node->right;
+}
+
+Bst::SeekRecord
+Bst::seek(unsigned tid, std::uint64_t key)
+{
+    SeekRecord rec;
+    rec.ancestor = root_;
+    rec.successor = s_;
+    rec.parent = s_;
+    std::uint64_t parent_edge = ctx_.readTrav(tid, s_->left);
+    rec.leaf = ptrOf(parent_edge);
+
+    std::uint64_t current_edge =
+        ctx_.readTrav(tid, childEdge(rec.leaf, key, tid));
+    Node *current = ptrOf(current_edge);
+
+    while (current != nullptr) {
+        if (!taggedOf(parent_edge)) {
+            rec.ancestor = rec.parent;
+            rec.successor = rec.leaf;
+        }
+        rec.parent = rec.leaf;
+        rec.leaf = current;
+        parent_edge = current_edge;
+        current_edge = ctx_.readTrav(tid, childEdge(current, key, tid));
+        current = ptrOf(current_edge);
+    }
+    return rec;
+}
+
+bool
+Bst::cleanup(unsigned tid, std::uint64_t key, const SeekRecord &rec)
+{
+    Node *ancestor = rec.ancestor;
+    Node *parent = rec.parent;
+
+    std::atomic<std::uint64_t> &succ_edge = childEdge(ancestor, key, tid);
+    const std::uint64_t pkey = ctx_.readTrav(tid, parent->key);
+    std::atomic<std::uint64_t> *child_addr =
+        key < pkey ? &parent->left : &parent->right;
+    std::atomic<std::uint64_t> *sibling_addr =
+        key < pkey ? &parent->right : &parent->left;
+
+    std::uint64_t child_raw = ctx_.readTrav(tid, *child_addr);
+    if (!flaggedOf(child_raw)) {
+        // The deletion being completed flagged the *other* child: the
+        // leaf under deletion is the sibling of the key's side.
+        sibling_addr = child_addr;
+    }
+
+    // Freeze the surviving edge with the tag bit (atomic OR loop).
+    while (true) {
+        std::uint64_t raw = ctx_.readTrav(tid, *sibling_addr);
+        if (taggedOf(raw))
+            break;
+        std::uint64_t expected = raw;
+        if (ctx_.cas(tid, *sibling_addr, expected, raw | tag_bit))
+            break;
+    }
+
+    // Swing the ancestor's edge from the successor to the surviving
+    // sibling, preserving a pending flag on the sibling edge.
+    const std::uint64_t sibling_raw = ctx_.readTrav(tid, *sibling_addr);
+    std::uint64_t expected = rawOf(rec.successor);
+    const std::uint64_t replacement =
+        (sibling_raw & ptr_mask) | (sibling_raw & flag_bit);
+    return ctx_.cas(tid, succ_edge, expected, replacement);
+}
+
+bool
+Bst::contains(unsigned tid, std::uint64_t key)
+{
+    SKIPIT_ASSERT(key >= 1 && key <= max_user_key, "key out of range");
+    SeekRecord rec = seek(tid, key);
+    const bool found = ctx_.readTrav(tid, rec.leaf->key) == key;
+    // Critical read: persist the edge that linearizes the lookup.
+    ctx_.read(tid, childEdge(rec.parent, key, tid));
+    ctx_.opEnd(tid);
+    return found;
+}
+
+bool
+Bst::insert(unsigned tid, std::uint64_t key)
+{
+    SKIPIT_ASSERT(key >= 1 && key <= max_user_key, "key out of range");
+    while (true) {
+        SeekRecord rec = seek(tid, key);
+        const std::uint64_t leaf_key = ctx_.readTrav(tid, rec.leaf->key);
+        if (leaf_key == key) {
+            ctx_.read(tid, childEdge(rec.parent, key, tid));
+            ctx_.opEnd(tid);
+            return false;
+        }
+        Node *new_leaf = newLeaf(tid, key);
+        Node *internal =
+            key < leaf_key
+                ? newInternal(tid, leaf_key, rawOf(new_leaf),
+                              rawOf(rec.leaf))
+                : newInternal(tid, key, rawOf(rec.leaf), rawOf(new_leaf));
+        // Both nodes must be durable before the publishing CAS.
+        ctx_.persistInitRange(tid, &new_leaf->key, 3);
+        ctx_.persistInitRange(tid, &internal->key, 3);
+        std::atomic<std::uint64_t> &edge =
+            childEdge(rec.parent, key, tid);
+        std::uint64_t expected = rawOf(rec.leaf);
+        if (ctx_.cas(tid, edge, expected, rawOf(internal))) {
+            ctx_.opEnd(tid);
+            return true;
+        }
+        // CAS failed: help a pending deletion on this edge, then retry.
+        // The fresh nodes are leaked (registered, never reclaimed).
+        if (ptrOf(expected) == rec.leaf &&
+            (flaggedOf(expected) || taggedOf(expected))) {
+            cleanup(tid, key, rec);
+        }
+    }
+}
+
+bool
+Bst::remove(unsigned tid, std::uint64_t key)
+{
+    SKIPIT_ASSERT(key >= 1 && key <= max_user_key, "key out of range");
+    bool injecting = true;
+    Node *target = nullptr;
+    while (true) {
+        SeekRecord rec = seek(tid, key);
+        std::atomic<std::uint64_t> &edge =
+            childEdge(rec.parent, key, tid);
+        if (injecting) {
+            if (ctx_.readTrav(tid, rec.leaf->key) != key) {
+                ctx_.read(tid, edge);
+                ctx_.opEnd(tid);
+                return false;
+            }
+            target = rec.leaf;
+            // Injection: flag the edge to the leaf (linearization point).
+            std::uint64_t expected = rawOf(rec.leaf);
+            if (ctx_.cas(tid, edge, expected,
+                         rawOf(rec.leaf) | flag_bit)) {
+                injecting = false;
+                if (cleanup(tid, key, rec)) {
+                    ctx_.opEnd(tid);
+                    return true;
+                }
+            } else if (ptrOf(expected) == rec.leaf &&
+                       (flaggedOf(expected) || taggedOf(expected))) {
+                // Help whoever is operating on this edge.
+                cleanup(tid, key, rec);
+            }
+        } else {
+            if (rec.leaf != target) {
+                // A helper finished our deletion.
+                ctx_.opEnd(tid);
+                return true;
+            }
+            if (cleanup(tid, key, rec)) {
+                ctx_.opEnd(tid);
+                return true;
+            }
+        }
+    }
+}
+
+std::size_t
+Bst::countLeaves(const Node *n) const
+{
+    if (n == nullptr)
+        return 0;
+    if (n->is_leaf) {
+        const std::uint64_t k = n->key.load(std::memory_order_acquire);
+        return (k >= 1 && k <= max_user_key) ? 1 : 0;
+    }
+    return countLeaves(ptrOf(n->left.load(std::memory_order_acquire))) +
+           countLeaves(ptrOf(n->right.load(std::memory_order_acquire)));
+}
+
+std::size_t
+Bst::sizeSlow() const
+{
+    return countLeaves(root_);
+}
+
+} // namespace skipit

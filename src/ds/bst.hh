@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The Natarajan-Mittal lock-free external binary search tree [53],
+ * instrumented for persistence.
+ *
+ * External tree: internal nodes route, leaves store keys. Deletions use
+ * edge flagging/tagging: bit 0 (flag) marks the edge to a leaf being
+ * deleted, bit 1 (tag) marks the sibling edge so it cannot change while
+ * the deletion is completed. Because the algorithm occupies these spare
+ * pointer bits, link-and-persist (which needs bit 63 *and conflicts with
+ * algorithms using spare bits per the paper §7.4*) is not applied to this
+ * structure in the benchmarks.
+ */
+
+#ifndef SKIPIT_DS_BST_HH
+#define SKIPIT_DS_BST_HH
+
+#include <atomic>
+
+#include "nvm/persist.hh"
+#include "set_interface.hh"
+
+namespace skipit {
+
+/** Natarajan-Mittal lock-free external BST. */
+class Bst : public PersistentSet
+{
+  public:
+    explicit Bst(PersistCtx &ctx);
+
+    bool contains(unsigned tid, std::uint64_t key) override;
+    bool insert(unsigned tid, std::uint64_t key) override;
+    bool remove(unsigned tid, std::uint64_t key) override;
+    const char *name() const override { return "bst"; }
+
+    std::size_t sizeSlow() const;
+
+    /** Tree node. Leaves have null children; key immutable. */
+    struct Node
+    {
+        std::atomic<std::uint64_t> key;
+        std::atomic<std::uint64_t> left;
+        std::atomic<std::uint64_t> right;
+        bool is_leaf = false; //!< immutable after construction
+    };
+
+  private:
+    static constexpr std::uint64_t flag_bit = 1; //!< edge under deletion
+    static constexpr std::uint64_t tag_bit = 2;  //!< edge frozen
+    static constexpr std::uint64_t ptr_mask = ~std::uint64_t{3};
+
+    static Node *ptrOf(std::uint64_t raw)
+    {
+        return reinterpret_cast<Node *>(raw & ptr_mask);
+    }
+    static bool flaggedOf(std::uint64_t raw)
+    {
+        return (raw & flag_bit) != 0;
+    }
+    static bool taggedOf(std::uint64_t raw) { return (raw & tag_bit) != 0; }
+    static std::uint64_t rawOf(Node *n)
+    {
+        return reinterpret_cast<std::uint64_t>(n);
+    }
+
+    /** Result of a seek: the deletion window of [53]. */
+    struct SeekRecord
+    {
+        Node *ancestor = nullptr;  //!< parent of successor
+        Node *successor = nullptr; //!< last node on path via untagged edge
+        Node *parent = nullptr;    //!< parent of leaf
+        Node *leaf = nullptr;      //!< terminal leaf reached
+    };
+
+    PersistCtx &ctx_;
+    Node *root_; //!< sentinel R (key inf2)
+    Node *s_;    //!< sentinel S (key inf1), left child of R
+
+    SeekRecord seek(unsigned tid, std::uint64_t key);
+    /** Child edge of @p node on @p key's side. */
+    std::atomic<std::uint64_t> &childEdge(Node *node, std::uint64_t key,
+                                          unsigned tid);
+    Node *newLeaf(unsigned tid, std::uint64_t key);
+    Node *newInternal(unsigned tid, std::uint64_t key,
+                      std::uint64_t left_raw, std::uint64_t right_raw);
+    /** Complete a pending deletion in @p rec's window.
+     *  @return true if this call (or a helper) finished it */
+    bool cleanup(unsigned tid, std::uint64_t key, const SeekRecord &rec);
+
+    std::size_t countLeaves(const Node *n) const;
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_DS_BST_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * A lock-free hash table in the style evaluated by [23]: a fixed array of
+ * buckets, each an independent Harris linked list.
+ */
+
+#ifndef SKIPIT_DS_HASH_TABLE_HH
+#define SKIPIT_DS_HASH_TABLE_HH
+
+#include <memory>
+#include <vector>
+
+#include "linked_list.hh"
+#include "set_interface.hh"
+
+namespace skipit {
+
+/** Fixed-size bucketed hash set. */
+class HashTable : public PersistentSet
+{
+  public:
+    /**
+     * @param buckets number of buckets; sized so chains stay short at
+     *                the benchmark's key range (load factor ~1)
+     */
+    HashTable(PersistCtx &ctx, std::size_t buckets);
+
+    bool contains(unsigned tid, std::uint64_t key) override;
+    bool insert(unsigned tid, std::uint64_t key) override;
+    bool remove(unsigned tid, std::uint64_t key) override;
+    const char *name() const override { return "hash-table"; }
+
+    std::size_t sizeSlow() const;
+
+  private:
+    PersistCtx &ctx_;
+    std::vector<std::unique_ptr<LinkedList>> buckets_;
+
+    LinkedList &bucketFor(std::uint64_t key);
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_DS_HASH_TABLE_HH

@@ -1,0 +1,148 @@
+#include "linked_list.hh"
+
+#include "sim/logging.hh"
+
+namespace skipit {
+
+namespace {
+constexpr std::uint64_t head_key = 0;                  // below all user keys
+constexpr std::uint64_t tail_key = ~std::uint64_t{0} >> 8; // above all
+} // namespace
+
+LinkedList::LinkedList(PersistCtx &ctx) : ctx_(ctx)
+{
+    tail_ = new Node;
+    tail_->key.store(tail_key, std::memory_order_relaxed);
+    tail_->next.store(0, std::memory_order_relaxed);
+    head_ = new Node;
+    head_->key.store(head_key, std::memory_order_relaxed);
+    head_->next.store(rawOf(tail_), std::memory_order_relaxed);
+}
+
+LinkedList::Node *
+LinkedList::newNode(unsigned tid, std::uint64_t key, std::uint64_t next_raw)
+{
+    Node *n = new Node;
+    ctx_.writePlain(tid, n->key, key);
+    ctx_.writePlain(tid, n->next, next_raw);
+    // The node's contents must be durable before it is published, or a
+    // crash right after the linking CAS would expose a zeroed node.
+    ctx_.persistInitRange(tid, &n->key, 2);
+    return n;
+}
+
+std::pair<LinkedList::Node *, LinkedList::Node *>
+LinkedList::search(unsigned tid, std::uint64_t key)
+{
+    while (true) {
+        Node *pred = head_;
+        std::uint64_t curr_raw = ctx_.readTrav(tid, pred->next);
+        Node *curr = ptrOf(curr_raw);
+        bool retry = false;
+        while (true) {
+            SKIPIT_ASSERT(curr != nullptr, "list traversal fell off tail");
+            std::uint64_t next_raw = ctx_.readTrav(tid, curr->next);
+            if (markedOf(next_raw)) {
+                // curr is logically deleted: snip it out.
+                std::uint64_t expected = rawOf(curr);
+                if (!ctx_.cas(tid, pred->next, expected,
+                              next_raw & ~mark_bit)) {
+                    retry = true;
+                    break;
+                }
+                curr = ptrOf(next_raw);
+                continue;
+            }
+            const std::uint64_t ckey = ctx_.readTrav(tid, curr->key);
+            if (ckey >= key)
+                return {pred, curr};
+            pred = curr;
+            curr = ptrOf(next_raw);
+        }
+        if (retry)
+            continue;
+    }
+}
+
+bool
+LinkedList::contains(unsigned tid, std::uint64_t key)
+{
+    SKIPIT_ASSERT(key >= 1 && key <= max_user_key, "key out of range");
+    auto [pred, curr] = search(tid, key);
+    (void)pred;
+    // Critical read: the lookup's linearization point must be persisted
+    // under Automatic / NvTraverse semantics.
+    const std::uint64_t next_raw = ctx_.read(tid, curr->next);
+    const bool found = ctx_.readTrav(tid, curr->key) == key &&
+                       !markedOf(next_raw);
+    ctx_.opEnd(tid);
+    return found;
+}
+
+bool
+LinkedList::insert(unsigned tid, std::uint64_t key)
+{
+    SKIPIT_ASSERT(key >= 1 && key <= max_user_key, "key out of range");
+    while (true) {
+        auto [pred, curr] = search(tid, key);
+        if (ctx_.readTrav(tid, curr->key) == key) {
+            // Present: persist the evidence before reporting failure.
+            ctx_.read(tid, curr->next);
+            ctx_.opEnd(tid);
+            return false;
+        }
+        Node *node = newNode(tid, key, rawOf(curr));
+        std::uint64_t expected = rawOf(curr);
+        if (ctx_.cas(tid, pred->next, expected, rawOf(node))) {
+            ctx_.opEnd(tid);
+            return true;
+        }
+        // Lost the race. The node was never published but its words are
+        // registered with the persistence shadow, so it is leaked rather
+        // than freed (consistent with the no-reclamation design).
+    }
+}
+
+bool
+LinkedList::remove(unsigned tid, std::uint64_t key)
+{
+    SKIPIT_ASSERT(key >= 1 && key <= max_user_key, "key out of range");
+    while (true) {
+        auto [pred, curr] = search(tid, key);
+        if (ctx_.readTrav(tid, curr->key) != key) {
+            ctx_.read(tid, curr->next);
+            ctx_.opEnd(tid);
+            return false;
+        }
+        std::uint64_t next_raw = ctx_.read(tid, curr->next);
+        if (markedOf(next_raw))
+            continue; // someone else is deleting it; re-search helps
+        // Logical deletion: mark curr's next pointer.
+        std::uint64_t expected = next_raw;
+        if (!ctx_.cas(tid, curr->next, expected, next_raw | mark_bit))
+            continue;
+        // Physical deletion (best effort; search() cleans up otherwise).
+        std::uint64_t pred_exp = rawOf(curr);
+        ctx_.cas(tid, pred->next, pred_exp, next_raw);
+        ctx_.opEnd(tid);
+        return true;
+    }
+}
+
+std::size_t
+LinkedList::sizeSlow() const
+{
+    std::size_t n = 0;
+    const Node *curr = ptrOf(head_->next.load(std::memory_order_acquire) &
+                             ~PersistCtx::lp_mark);
+    while (curr != tail_) {
+        if (!markedOf(curr->next.load(std::memory_order_acquire)))
+            ++n;
+        curr = ptrOf(curr->next.load(std::memory_order_acquire) &
+                     ~PersistCtx::lp_mark);
+        SKIPIT_ASSERT(curr != nullptr, "sizeSlow fell off the list");
+    }
+    return n;
+}
+
+} // namespace skipit

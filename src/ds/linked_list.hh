@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Harris's lock-free linked list [31], instrumented for persistence.
+ *
+ * Nodes pack a deletion mark into bit 0 of the next pointer. The paper's
+ * §7.4 evaluates a 128-key-range version of this list under every
+ * persistence mode and flush-avoidance policy.
+ */
+
+#ifndef SKIPIT_DS_LINKED_LIST_HH
+#define SKIPIT_DS_LINKED_LIST_HH
+
+#include <atomic>
+#include <cstdint>
+
+#include "nvm/persist.hh"
+#include "set_interface.hh"
+
+namespace skipit {
+
+/** Harris lock-free sorted linked list. */
+class LinkedList : public PersistentSet
+{
+  public:
+    explicit LinkedList(PersistCtx &ctx);
+
+    bool contains(unsigned tid, std::uint64_t key) override;
+    bool insert(unsigned tid, std::uint64_t key) override;
+    bool remove(unsigned tid, std::uint64_t key) override;
+    const char *name() const override { return "linked-list"; }
+
+    /** Count elements (single-threaded test helper, uninstrumented). */
+    std::size_t sizeSlow() const;
+
+    /** A list node; key is immutable after construction. */
+    struct Node
+    {
+        std::atomic<std::uint64_t> key;
+        std::atomic<std::uint64_t> next;
+    };
+
+  private:
+    static constexpr std::uint64_t mark_bit = 1;
+
+    static Node *ptrOf(std::uint64_t raw)
+    {
+        return reinterpret_cast<Node *>(raw & ~mark_bit);
+    }
+    static bool markedOf(std::uint64_t raw) { return (raw & mark_bit) != 0; }
+    static std::uint64_t rawOf(Node *n)
+    {
+        return reinterpret_cast<std::uint64_t>(n);
+    }
+
+    PersistCtx &ctx_;
+    Node *head_; //!< sentinel with key 0 (below all user keys + 1 offset)
+    Node *tail_; //!< sentinel with key above max_user_key
+
+    /**
+     * Harris search: find the first unmarked node with key >= @p key,
+     * snipping marked nodes along the way.
+     * @return (pred, curr); curr may be the tail sentinel
+     */
+    std::pair<Node *, Node *> search(unsigned tid, std::uint64_t key);
+
+    Node *newNode(unsigned tid, std::uint64_t key, std::uint64_t next_raw);
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_DS_LINKED_LIST_HH

@@ -1,0 +1,97 @@
+#include "ms_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace skipit {
+
+MsQueue::MsQueue(PersistCtx &ctx) : ctx_(ctx)
+{
+    Node *dummy = new Node;
+    dummy->value.store(0, std::memory_order_relaxed);
+    dummy->next.store(0, std::memory_order_relaxed);
+    head_.store(rawOf(dummy), std::memory_order_relaxed);
+    tail_.store(rawOf(dummy), std::memory_order_relaxed);
+}
+
+MsQueue::Node *
+MsQueue::newNode(unsigned tid, std::uint64_t value)
+{
+    Node *n = new Node;
+    ctx_.writePlain(tid, n->value, value);
+    ctx_.writePlain(tid, n->next, 0);
+    // Durable before linked (same rule as the sets' node init).
+    ctx_.persistInitRange(tid, &n->value, 2);
+    return n;
+}
+
+void
+MsQueue::enqueue(unsigned tid, std::uint64_t value)
+{
+    SKIPIT_ASSERT(value < (std::uint64_t{1} << 62),
+                  "value collides with pointer/mark encodings");
+    Node *node = newNode(tid, value);
+    while (true) {
+        const std::uint64_t tail_raw = ctx_.readTrav(tid, tail_);
+        Node *tail = ptrOf(tail_raw);
+        std::uint64_t next_raw = ctx_.read(tid, tail->next);
+        if (next_raw != 0) {
+            // Tail is lagging: help swing it, then retry.
+            std::uint64_t expected = tail_raw;
+            ctx_.cas(tid, tail_, expected, next_raw);
+            continue;
+        }
+        std::uint64_t expected = 0;
+        if (ctx_.cas(tid, tail->next, expected, rawOf(node))) {
+            // Linearized (and persisted by the CAS). Swing tail lazily.
+            std::uint64_t texp = tail_raw;
+            ctx_.cas(tid, tail_, texp, rawOf(node));
+            ctx_.opEnd(tid);
+            return;
+        }
+        // Lost the race; the fresh node stays registered and is reused
+        // on the next attempt (it is still private).
+    }
+}
+
+bool
+MsQueue::dequeue(unsigned tid, std::uint64_t &out)
+{
+    while (true) {
+        const std::uint64_t head_raw = ctx_.readTrav(tid, head_);
+        Node *head = ptrOf(head_raw);
+        const std::uint64_t next_raw = ctx_.read(tid, head->next);
+        if (next_raw == 0) {
+            ctx_.opEnd(tid);
+            return false; // empty (only the dummy remains)
+        }
+        Node *next = ptrOf(next_raw);
+        const std::uint64_t value = ctx_.readTrav(tid, next->value);
+        std::uint64_t expected = head_raw;
+        if (ctx_.cas(tid, head_, expected, next_raw)) {
+            // The head bump is the (persisted) linearization point; the
+            // old dummy is leaked (no reclamation).
+            out = value;
+            ctx_.opEnd(tid);
+            return true;
+        }
+    }
+}
+
+std::size_t
+MsQueue::sizeSlow() const
+{
+    std::size_t n = 0;
+    const Node *curr =
+        ptrOf(head_.load(std::memory_order_acquire) & ~PersistCtx::lp_mark);
+    std::uint64_t next =
+        curr->next.load(std::memory_order_acquire) & ~PersistCtx::lp_mark;
+    while (next != 0) {
+        ++n;
+        curr = ptrOf(next);
+        next = curr->next.load(std::memory_order_acquire) &
+               ~PersistCtx::lp_mark;
+    }
+    return n;
+}
+
+} // namespace skipit

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A Michael-Scott lock-free FIFO queue instrumented for persistence — the
+ * second data-structure family the FliT paper evaluates, included here as
+ * an extension beyond the paper's four sets.
+ *
+ * Durable variant in the style of the durable queues of Friedman et al.:
+ * a node is persisted before it is linked, the tail link's CAS persists
+ * the linkage, and the head bump's CAS persists the dequeue — so a crash
+ * between operations loses nothing (verified by the crash-recovery
+ * suite).
+ */
+
+#ifndef SKIPIT_DS_MS_QUEUE_HH
+#define SKIPIT_DS_MS_QUEUE_HH
+
+#include <atomic>
+#include <cstdint>
+
+#include "nvm/persist.hh"
+
+namespace skipit {
+
+/** Lock-free multi-producer multi-consumer FIFO of 64-bit values. */
+class MsQueue
+{
+  public:
+    explicit MsQueue(PersistCtx &ctx);
+
+    /** Append @p value (values must be < 2^62; 0 is allowed). */
+    void enqueue(unsigned tid, std::uint64_t value);
+
+    /**
+     * Pop the oldest value into @p out.
+     * @return false if the queue was empty
+     */
+    bool dequeue(unsigned tid, std::uint64_t &out);
+
+    /** Number of elements (single-threaded test helper). */
+    std::size_t sizeSlow() const;
+
+    /** A queue node; value immutable after construction. */
+    struct Node
+    {
+        std::atomic<std::uint64_t> value;
+        std::atomic<std::uint64_t> next;
+    };
+
+  private:
+    static Node *ptrOf(std::uint64_t raw)
+    {
+        return reinterpret_cast<Node *>(raw);
+    }
+    static std::uint64_t rawOf(Node *n)
+    {
+        return reinterpret_cast<std::uint64_t>(n);
+    }
+
+    PersistCtx &ctx_;
+    std::atomic<std::uint64_t> head_; //!< dummy-node sentinel scheme
+    std::atomic<std::uint64_t> tail_;
+
+    Node *newNode(unsigned tid, std::uint64_t value);
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_DS_MS_QUEUE_HH

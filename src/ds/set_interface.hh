@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Common interface of the persistent lock-free sets evaluated in §7.4.
+ *
+ * All four structures (Harris linked list, hash table, Natarajan-Mittal
+ * BST, skiplist) expose a set API; every shared-memory access goes through
+ * a PersistCtx, which applies the configured persistence mode and
+ * redundant-flush avoidance policy.
+ *
+ * Memory reclamation is deliberately omitted (removed nodes are leaked),
+ * as in the research prototypes the paper builds on; benchmark footprints
+ * are bounded by their key ranges.
+ */
+
+#ifndef SKIPIT_DS_SET_INTERFACE_HH
+#define SKIPIT_DS_SET_INTERFACE_HH
+
+#include <cstdint>
+
+namespace skipit {
+
+/** A concurrent set of 64-bit keys.
+ *  Keys must be < 2^48 so that sentinel keys and pointer/mark encodings
+ *  never collide with real keys. */
+class PersistentSet
+{
+  public:
+    virtual ~PersistentSet() = default;
+
+    /** @return true if @p key is in the set. */
+    virtual bool contains(unsigned tid, std::uint64_t key) = 0;
+
+    /** @return true if @p key was inserted (false: already present). */
+    virtual bool insert(unsigned tid, std::uint64_t key) = 0;
+
+    /** @return true if @p key was removed (false: not present). */
+    virtual bool remove(unsigned tid, std::uint64_t key) = 0;
+
+    /** Human-readable structure name for benchmark output. */
+    virtual const char *name() const = 0;
+};
+
+/** Largest key client code may use (sentinels live above this). */
+inline constexpr std::uint64_t max_user_key = (std::uint64_t{1} << 48) - 1;
+
+} // namespace skipit
+
+#endif // SKIPIT_DS_SET_INTERFACE_HH

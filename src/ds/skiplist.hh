@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A lock-free skiplist in the Fraser / Herlihy-Shavit style used by the
+ * log-free data structures of [23]: towers of Harris-style lists, marks
+ * in bit 0 of each level's next pointer.
+ */
+
+#ifndef SKIPIT_DS_SKIPLIST_HH
+#define SKIPIT_DS_SKIPLIST_HH
+
+#include <array>
+#include <atomic>
+
+#include "nvm/persist.hh"
+#include "set_interface.hh"
+
+namespace skipit {
+
+/** Lock-free probabilistic skiplist. */
+class SkipList : public PersistentSet
+{
+  public:
+    static constexpr unsigned max_level = 12;
+
+    explicit SkipList(PersistCtx &ctx);
+
+    bool contains(unsigned tid, std::uint64_t key) override;
+    bool insert(unsigned tid, std::uint64_t key) override;
+    bool remove(unsigned tid, std::uint64_t key) override;
+    const char *name() const override { return "skiplist"; }
+
+    std::size_t sizeSlow() const;
+
+    /** A tower node; key and level are immutable after construction. */
+    struct Node
+    {
+        std::atomic<std::uint64_t> key;
+        std::atomic<std::uint64_t> level;
+        std::array<std::atomic<std::uint64_t>, max_level> next;
+    };
+
+  private:
+    static constexpr std::uint64_t mark_bit = 1;
+
+    static Node *ptrOf(std::uint64_t raw)
+    {
+        return reinterpret_cast<Node *>(raw & ~mark_bit);
+    }
+    static bool markedOf(std::uint64_t raw) { return (raw & mark_bit) != 0; }
+    static std::uint64_t rawOf(Node *n)
+    {
+        return reinterpret_cast<std::uint64_t>(n);
+    }
+
+    PersistCtx &ctx_;
+    Node *head_;
+    Node *tail_;
+
+    /** Deterministic tower height for @p key (hash-derived geometric). */
+    static unsigned levelFor(std::uint64_t key);
+
+    /**
+     * Find preds/succs at every level, unlinking marked nodes.
+     * @return true if an unmarked bottom-level node with @p key was found
+     */
+    bool find(unsigned tid, std::uint64_t key,
+              std::array<Node *, max_level> &preds,
+              std::array<Node *, max_level> &succs);
+
+    Node *newNode(unsigned tid, std::uint64_t key, unsigned level);
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_DS_SKIPLIST_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * L1 data-cache parameters, including the paper's flush-unit knobs.
+ */
+
+#ifndef SKIPIT_L1_CONFIG_HH
+#define SKIPIT_L1_CONFIG_HH
+
+#include "sim/types.hh"
+
+namespace skipit {
+
+/** SonicBOOM L1 D-cache geometry and flush-unit configuration. */
+struct L1Config
+{
+    unsigned sets = 64; //!< 64 sets x 8 ways x 64 B = 32 KiB (§3.3)
+    unsigned ways = 8;
+    unsigned mshrs = 4;       //!< miss status holding registers
+    unsigned rpq_depth = 8;   //!< replay-queue entries per MSHR
+    Cycle hit_latency = 3;    //!< load-to-use on a hit
+    unsigned reqs_per_cycle = 2; //!< LSU can fire two per cycle (§3.2)
+    /** Completion latency of a CBO.X as seen by the LSU: the instruction
+     *  travels the whole pipeline (decode, ROB, TLB, L1 lookup) before it
+     *  is buffered — or, with Skip It, detected as redundant and halted
+     *  (§7.4 discusses exactly this cost). Applies to accepted, coalesced
+     *  and skip-dropped CBOs alike. */
+    Cycle cbo_accept_latency = 7;
+
+    /// @name Flush unit (§5.2)
+    /// @{
+    unsigned flush_queue_depth = 8;
+    unsigned fshrs = 8;       //!< the paper's flush unit contains 8
+    /** Widened data array: a full line is read in one cycle (§5.2).
+     *  Off = one 8 B word per cycle (the unmodified BOOM array), for the
+     *  ablation bench. */
+    bool wide_data_array = true;
+    /** Coalesce same-kind CBO.X to the same unchanged line (§5.3). */
+    bool coalesce = true;
+    /** Extension (the paper's §5.3 "future investigation"): also coalesce
+     *  a CBO.CLEAN into a pending CBO.FLUSH of the same unchanged line.
+     *  Sound because the flush's obligations strictly subsume the
+     *  clean's: it writes the same dirty data back and additionally
+     *  invalidates. The reverse (flush into pending clean) stays
+     *  forbidden — the clean would not invalidate the line. */
+    bool cross_kind_coalesce = false;
+    /// @}
+
+    /// @name Skip It (§6)
+    /// @{
+    bool skip_it = true; //!< skip-bit early drop of redundant writebacks
+    /** Set the skip bit when a CBO.CLEAN's RootReleaseAck returns and the
+     *  line is still resident and clean: the writeback that just completed
+     *  proves no dirty copy exists below. A conservative strengthening of
+     *  §6 that makes repeated clean-writeback patterns skippable even when
+     *  the line was originally granted dirty. */
+    bool skip_set_on_clean_ack = true;
+    /// @}
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_L1_CONFIG_HH

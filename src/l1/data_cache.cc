@@ -1,0 +1,945 @@
+#include "data_cache.hh"
+
+#include <cstring>
+
+#include "sim/trace.hh"
+
+namespace skipit {
+
+DataCache::DataCache(std::string name, Simulator &sim, const L1Config &cfg,
+                     AgentId id, TLLink &link, Stats &stats)
+    : Ticked(std::move(name)), sim_(sim), cfg_(cfg), id_(id), link_(link),
+      stats_(stats), sp_("l1." + std::to_string(id) + "."),
+      arrays_(cfg.sets, cfg.ways), mshrs_(cfg.mshrs),
+      flush_q_(cfg.flush_queue_depth), fshrs_(cfg.fshrs),
+      in_q_(sim, 1), resp_q_(sim)
+{
+    SKIPIT_ASSERT(cfg.fshrs > 0 && cfg.flush_queue_depth > 0,
+                  "flush unit needs at least one FSHR and queue slot");
+}
+
+void
+DataCache::tick()
+{
+    processChannelD();
+    processProbe();
+    processCpuRequests();
+    flushUnitDequeue();
+    tickFshrs();
+    tickWbu();
+    issueAcquires();
+}
+
+ClientState
+DataCache::lineState(Addr addr) const
+{
+    const int way = arrays_.findWay(lineAlign(addr));
+    if (way < 0)
+        return ClientState::Nothing;
+    return arrays_.meta(arrays_.setOf(lineAlign(addr)),
+                        static_cast<unsigned>(way)).state;
+}
+
+bool
+DataCache::lineDirty(Addr addr) const
+{
+    const int way = arrays_.findWay(lineAlign(addr));
+    if (way < 0)
+        return false;
+    return arrays_.meta(arrays_.setOf(lineAlign(addr)),
+                        static_cast<unsigned>(way)).dirty;
+}
+
+bool
+DataCache::lineSkip(Addr addr) const
+{
+    const int way = arrays_.findWay(lineAlign(addr));
+    if (way < 0)
+        return false;
+    return arrays_.meta(arrays_.setOf(lineAlign(addr)),
+                        static_cast<unsigned>(way)).skip;
+}
+
+bool
+DataCache::peekWord(Addr addr, std::uint64_t &value) const
+{
+    const Addr line = lineAlign(addr);
+    const int way = arrays_.findWay(line);
+    if (way < 0)
+        return false;
+    value = readWord(arrays_.data(arrays_.setOf(line),
+                                  static_cast<unsigned>(way)),
+                     addr, 8);
+    return true;
+}
+
+bool
+DataCache::quiesced() const
+{
+    if (flush_counter_ > 0 || wbu_.busy() || probe_.busy())
+        return false;
+    for (const L1Mshr &m : mshrs_) {
+        if (m.valid)
+            return false;
+    }
+    return in_q_.empty() && resp_q_.empty();
+}
+
+void
+DataCache::submit(const CpuReq &req)
+{
+    in_q_.push(req);
+}
+
+void
+DataCache::respond(const CpuReq &req, std::uint64_t data, Cycle delay)
+{
+    resp_q_.pushIn(CpuResp{req.id, false, data}, delay);
+}
+
+void
+DataCache::respondNack(const CpuReq &req)
+{
+    resp_q_.pushIn(CpuResp{req.id, true, 0}, 1);
+    stats_[sp_ + "nacks"]++;
+}
+
+std::uint64_t
+DataCache::readWord(const LineData &line, Addr addr, unsigned size) const
+{
+    SKIPIT_ASSERT(size <= 8 && lineOffset(addr) + size <= line_bytes,
+                  "access crosses line boundary");
+    std::uint64_t v = 0;
+    std::memcpy(&v, line.data() + lineOffset(addr), size);
+    return v;
+}
+
+void
+DataCache::writeWord(LineData &line, Addr addr, unsigned size,
+                     std::uint64_t value)
+{
+    SKIPIT_ASSERT(size <= 8 && lineOffset(addr) + size <= line_bytes,
+                  "access crosses line boundary");
+    std::memcpy(line.data() + lineOffset(addr), &value, size);
+}
+
+// ---------------------------------------------------------------------
+// Channel D: grants for MSHRs, acks for the WBU and FSHRs.
+// ---------------------------------------------------------------------
+
+void
+DataCache::processChannelD()
+{
+    while (link_.d.ready()) {
+        const DMsg msg = link_.d.recv();
+        switch (msg.op) {
+          case DOp::Grant:
+          case DOp::GrantData:
+          case DOp::GrantDataDirty:
+            fillFromGrant(msg);
+            break;
+          case DOp::ReleaseAck:
+            SKIPIT_ASSERT(wbu_.state == WritebackUnit::State::AwaitAck &&
+                          wbu_.line == msg.addr,
+                          "ReleaseAck without matching writeback");
+            wbu_.state = WritebackUnit::State::Idle;
+            break;
+          case DOp::RootReleaseAck: {
+            const int idx = fshrForLine(msg.addr);
+            SKIPIT_ASSERT(idx >= 0, "RootReleaseAck without FSHR");
+            Fshr &f = fshrs_[static_cast<unsigned>(idx)];
+            SKIPIT_ASSERT(f.state == Fshr::State::RootReleaseAck,
+                          "RootReleaseAck in state other than wait");
+            completeFshr(f);
+            break;
+          }
+        }
+    }
+}
+
+void
+DataCache::fillFromGrant(const DMsg &grant)
+{
+    const int idx = mshrForLine(grant.addr);
+    SKIPIT_ASSERT(idx >= 0, "grant without MSHR for line");
+    L1Mshr &m = mshrs_[static_cast<unsigned>(idx)];
+    SKIPIT_ASSERT(m.state == L1Mshr::State::AwaitGrant,
+                  "grant before Acquire was issued");
+
+    // The fill way was reserved (and any victim evicted) at allocation.
+    const unsigned set = m.fill_set;
+    const unsigned way = m.fill_way;
+    SKIPIT_ASSERT(!arrays_.meta(set, way).valid() ||
+                  arrays_.meta(set, way).tag == arrays_.tagOf(grant.addr),
+                  "reserved fill way holds a foreign line");
+
+    L1Meta &meta = arrays_.meta(set, static_cast<unsigned>(way));
+    meta.state = stateForCap(grant.cap);
+    meta.tag = arrays_.tagOf(grant.addr);
+    meta.dirty = false;
+    // Skip It (§6.1): GrantData proves the line is persisted below;
+    // GrantDataDirty proves it is not.
+    meta.skip = cfg_.skip_it && grant.op == DOp::GrantData;
+    arrays_.data(set, static_cast<unsigned>(way)) = grant.data;
+    arrays_.touch(set, static_cast<unsigned>(way));
+
+    EMsg ack;
+    ack.addr = grant.addr;
+    ack.source = id_;
+    link_.e.send(ack);
+
+    replay(m, set, static_cast<unsigned>(way));
+    m = L1Mshr{};
+    stats_[sp_ + "fills"]++;
+}
+
+void
+DataCache::replay(L1Mshr &m, unsigned fill_set, unsigned fill_way)
+{
+    // Replay the RPQ in arrival order (§3.3). Replays drain one per cycle;
+    // responses are staggered accordingly. Applying all architectural
+    // effects in this cycle keeps probes from observing a partial replay,
+    // which is what BOOM's mshr_rdy interlock guarantees in hardware.
+    L1Meta &meta = arrays_.meta(fill_set, fill_way);
+    LineData &data = arrays_.data(fill_set, fill_way);
+    Cycle extra = 0;
+    for (const CpuReq &req : m.rpq) {
+        if (req.kind == CpuOpKind::Load) {
+            respond(req, readWord(data, req.addr, req.size),
+                    cfg_.hit_latency + extra);
+        } else if (req.kind == CpuOpKind::CboZero) {
+            SKIPIT_ASSERT(meta.state == ClientState::Trunk,
+                          "zero replay without write permissions");
+            data = LineData{};
+            meta.dirty = true;
+        } else {
+            SKIPIT_ASSERT(req.kind == CpuOpKind::Store,
+                          "CBO.CLEAN/FLUSH/INVAL must never enter an RPQ");
+            SKIPIT_ASSERT(meta.state == ClientState::Trunk,
+                          "store replay without write permissions");
+            writeWord(data, req.addr, req.size, req.data);
+            meta.dirty = true;
+            // The store already responded when the MSHR buffered it.
+        }
+        ++extra;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Probe unit (§3.3, §5.4.1).
+// ---------------------------------------------------------------------
+
+void
+DataCache::processProbe()
+{
+    switch (probe_.state) {
+      case ProbeUnit::State::Idle:
+        if (link_.b.ready()) {
+            const BMsg msg = link_.b.recv();
+            probe_.line = msg.addr;
+            probe_.cap = msg.param;
+            // probe_rdy drops the moment the probe arrives (§5.4.1); the
+            // flush queue cannot dequeue until the probe completes.
+            probe_.state = ProbeUnit::State::InvalidateQueue;
+            stats_[sp_ + "probes"]++;
+            SKIPIT_TRACE_LOG(sim_.now(), "l1", name(), " probe 0x",
+                             std::hex, msg.addr);
+        }
+        return;
+
+      case ProbeUnit::State::InvalidateQueue:
+        // probe_invalidate (§5.4.1): bring pending flush-queue entries in
+        // line with the permission downgrade this probe will perform.
+        invalidateFlushEntries(probe_.line, probe_.cap == Cap::toN);
+        probe_.state = ProbeUnit::State::CheckConflicts;
+        return;
+
+      case ProbeUnit::State::CheckConflicts: {
+        // flush_rdy: an FSHR mid-flight on this line must finish its
+        // release first (§5.4.1). wb_rdy: same for the writeback unit.
+        const int fshr = fshrForLine(probe_.line);
+        if (fshr >= 0 &&
+            !fshrs_[static_cast<unsigned>(fshr)].flushRdyFor(probe_.line)) {
+            return;
+        }
+        if (wbu_.conflictsWith(probe_.line))
+            return;
+        probe_.state = ProbeUnit::State::Respond;
+        return;
+      }
+
+      case ProbeUnit::State::Respond: {
+        const int way = arrays_.findWay(probe_.line);
+        CMsg ack;
+        ack.addr = probe_.line;
+        ack.source = id_;
+        if (way < 0) {
+            ack.op = COp::ProbeAck;
+            ack.param = Shrink::NtoN;
+            link_.c.send(ack);
+        } else {
+            const unsigned set = arrays_.setOf(probe_.line);
+            L1Meta &meta = arrays_.meta(set, static_cast<unsigned>(way));
+            const ClientState old = meta.state;
+            const ClientState next = applyCap(old, probe_.cap);
+            ack.param = shrinkFor(old, next);
+            if (meta.dirty) {
+                ack.op = COp::ProbeAckData;
+                ack.data = arrays_.data(set, static_cast<unsigned>(way));
+                meta.dirty = false;
+                // Our modification is now travelling to L2; it is dirty
+                // there, so this line is not persisted.
+                meta.skip = false;
+            } else {
+                ack.op = COp::ProbeAck;
+            }
+            meta.state = next;
+            link_.c.send(ack, TLLink::beatsFor(ack));
+        }
+        probe_.state = ProbeUnit::State::Idle;
+        return;
+      }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CPU request handling (§3.3, §5.3).
+// ---------------------------------------------------------------------
+
+void
+DataCache::processCpuRequests()
+{
+    for (unsigned n = 0; n < cfg_.reqs_per_cycle && in_q_.ready(); ++n) {
+        const CpuReq req = in_q_.pop();
+        switch (req.kind) {
+          case CpuOpKind::Load:
+            handleLoad(req);
+            break;
+          case CpuOpKind::Store:
+            handleStore(req);
+            break;
+          case CpuOpKind::CboClean:
+          case CpuOpKind::CboFlush:
+          case CpuOpKind::CboInval:
+            handleCbo(req);
+            break;
+          case CpuOpKind::CboZero:
+            handleCboZero(req);
+            break;
+        }
+    }
+}
+
+void
+DataCache::handleLoad(const CpuReq &req)
+{
+    const Addr line = lineAlign(req.addr);
+    const int way = arrays_.findWay(line);
+    if (way >= 0) {
+        // A load hit never changes line state, so pending flush-queue
+        // metadata stays valid and the load may proceed (§5.3).
+        const unsigned set = arrays_.setOf(line);
+        arrays_.touch(set, static_cast<unsigned>(way));
+        respond(req, readWord(arrays_.data(set, static_cast<unsigned>(way)),
+                              req.addr, req.size),
+                cfg_.hit_latency);
+        stats_[sp_ + "load_hits"]++;
+        return;
+    }
+
+    // Load miss with an FSHR on the line: forward from a filled data
+    // buffer, otherwise postpone (§5.3).
+    const int fshr = fshrForLine(line);
+    if (fshr >= 0) {
+        const Fshr &f = fshrs_[static_cast<unsigned>(fshr)];
+        if (f.buffer_filled) {
+            respond(req, readWord(f.buffer, req.addr, req.size),
+                    cfg_.hit_latency);
+            stats_[sp_ + "fshr_forwards"]++;
+        } else {
+            respondNack(req);
+        }
+        return;
+    }
+
+    stats_[sp_ + "load_misses"]++;
+    if (!missToMshr(req, Grow::NtoB))
+        respondNack(req);
+}
+
+void
+DataCache::handleStore(const CpuReq &req)
+{
+    const Addr line = lineAlign(req.addr);
+
+    // §5.3 Stores: a store dependent on a pending writeback nacks unless
+    // an FSHR is executing a CBO.CLEAN and the data buffer already holds
+    // the pre-store data (or the line was clean).
+    const int fshr = fshrForLine(line);
+    const bool queued = flushQueueHasLine(line);
+    if (fshr >= 0 || queued) {
+        bool allowed = false;
+        if (fshr >= 0 && !queued) {
+            const Fshr &f = fshrs_[static_cast<unsigned>(fshr)];
+            allowed = f.req.isClean() &&
+                      (!f.req.is_dirty || f.buffer_filled);
+        }
+        if (!allowed) {
+            respondNack(req);
+            return;
+        }
+    }
+
+    const int way = arrays_.findWay(line);
+    if (way >= 0) {
+        const unsigned set = arrays_.setOf(line);
+        L1Meta &meta = arrays_.meta(set, static_cast<unsigned>(way));
+        if (meta.state == ClientState::Trunk) {
+            writeWord(arrays_.data(set, static_cast<unsigned>(way)),
+                      req.addr, req.size, req.data);
+            meta.dirty = true;
+            arrays_.touch(set, static_cast<unsigned>(way));
+            respond(req, 0, cfg_.hit_latency);
+            stats_[sp_ + "store_hits"]++;
+            return;
+        }
+        // Branch: needs a permission upgrade. BOOM's data cache does not
+        // support AcquirePerm (§3.3), so this re-acquires the whole block.
+        if (fshr >= 0) {
+            // Upgrading under a live CBO.CLEAN would let the FSHR write
+            // back the new store's data; forbidden (§5.3).
+            respondNack(req);
+            return;
+        }
+        stats_[sp_ + "store_upgrades"]++;
+        if (missToMshr(req, Grow::BtoT)) {
+            // Once buffered in an MSHR the store counts as completed for
+            // the ROB (§3.3); the data lands at replay time.
+            respond(req, 0, 1);
+        } else {
+            respondNack(req);
+        }
+        return;
+    }
+
+    if (fshr >= 0) {
+        respondNack(req);
+        return;
+    }
+    stats_[sp_ + "store_misses"]++;
+    if (missToMshr(req, Grow::NtoT)) {
+        respond(req, 0, 1); // completed on buffering (§3.3)
+    } else {
+        respondNack(req);
+    }
+}
+
+void
+DataCache::handleCbo(const CpuReq &req)
+{
+    const Addr line = lineAlign(req.addr);
+
+    // An active MSHR on this line may hold not-yet-replayed stores that
+    // are older than this CBO in program order; snapshotting the line now
+    // would let the writeback miss their data. Like any other request to
+    // a line with a matching-but-unmergeable MSHR, the CBO nacks and the
+    // LSU retries once the fill completes (§3.3).
+    if (mshrForLine(line) >= 0) {
+        respondNack(req);
+        return;
+    }
+
+    // A probe in flight for this line may be about to downgrade the
+    // metadata we are snapshotting, and its probe_invalidate scan has
+    // already run — a snapshot taken now could go stale unnoticed. The
+    // pipeline nacks requests conflicting with an in-progress probe.
+    if (probe_.busy() && probe_.line == line) {
+        respondNack(req);
+        return;
+    }
+
+    const CboKind kind = req.kind == CpuOpKind::CboClean ? CboKind::Clean
+                         : req.kind == CpuOpKind::CboFlush
+                             ? CboKind::Flush
+                             : CboKind::Inval;
+    const int way = arrays_.findWay(line);
+    const bool hit = way >= 0;
+    bool dirty = false;
+    bool skip = false;
+    if (hit) {
+        const L1Meta &meta = arrays_.meta(arrays_.setOf(line),
+                                          static_cast<unsigned>(way));
+        dirty = meta.dirty;
+        skip = meta.skip;
+    }
+
+    // Skip It (§6.1): a hit on a clean line whose skip bit is set proves
+    // no dirty copy exists anywhere below; drop before enqueuing. Never
+    // applies to CBO.INVAL: its contract is to invalidate every cached
+    // copy regardless of cleanliness (a device may have rewritten DRAM
+    // behind the hierarchy's back).
+    if (cfg_.skip_it && kind != CboKind::Inval && hit && !dirty && skip) {
+        respond(req, 0, cfg_.cbo_accept_latency);
+        stats_[sp_ + "skipit_dropped"]++;
+        SKIPIT_TRACE_LOG(sim_.now(), "flush", name(), " skip-drop 0x",
+                         std::hex, line);
+        return;
+    }
+
+    // Coalescing (§5.3): a same-kind CBO.X to the same line whose state
+    // is unchanged since the pending request was captured merges with it.
+    // A pending request absorbs an incoming one when the kinds match,
+    // or — with the cross-kind extension — when a pending flush subsumes
+    // an incoming clean.
+    const auto kind_merges = [&](CboKind pending) {
+        if (pending == kind)
+            return true;
+        return cfg_.cross_kind_coalesce && kind == CboKind::Clean &&
+               pending == CboKind::Flush;
+    };
+
+    const int fshr = fshrForLine(line);
+    bool conflict = fshr >= 0;
+    if (cfg_.coalesce) {
+        for (const FlushQueueEntry &e : flush_q_) {
+            if (e.addr != line)
+                continue;
+            if (kind_merges(e.kind) && e.is_hit == hit &&
+                e.is_dirty == dirty) {
+                respond(req, 0, cfg_.cbo_accept_latency);
+                stats_[sp_ + "cbo_coalesced"]++;
+                return;
+            }
+            conflict = true;
+        }
+        if (fshr >= 0) {
+            const Fshr &f = fshrs_[static_cast<unsigned>(fshr)];
+            if (kind_merges(f.req.kind) && f.req.is_hit == hit &&
+                f.req.is_dirty == dirty) {
+                respond(req, 0, cfg_.cbo_accept_latency);
+                stats_[sp_ + "cbo_coalesced"]++;
+                return;
+            }
+        }
+    } else {
+        conflict = conflict || flushQueueHasLine(line);
+    }
+
+    // A dependent CBO.X that cannot coalesce is an STQ request that must
+    // nack (§5.3).
+    if (conflict) {
+        respondNack(req);
+        return;
+    }
+
+    if (flush_q_.full()) {
+        respondNack(req);
+        stats_[sp_ + "flushq_full"]++;
+        return;
+    }
+
+    FlushQueueEntry e;
+    e.addr = line;
+    e.is_hit = hit;
+    e.is_dirty = dirty;
+    e.kind = kind;
+    const bool pushed = flush_q_.tryPush(e);
+    SKIPIT_ASSERT(pushed, "flush queue push failed");
+    ++flush_counter_;
+    SKIPIT_TRACE_LOG(sim_.now(), "flush", name(), " enqueue ",
+                     kind == CboKind::Clean   ? "clean"
+                     : kind == CboKind::Flush ? "flush"
+                                              : "inval",
+                     " 0x", std::hex, line, " hit=", hit, " dirty=",
+                     dirty);
+    // Buffered: the instruction is ready to commit (§5.2).
+    respond(req, 0, cfg_.cbo_accept_latency);
+    stats_[sp_ + (kind == CboKind::Clean   ? "cbo_clean_accepted"
+                  : kind == CboKind::Flush ? "cbo_flush_accepted"
+                                           : "cbo_inval_accepted")]++;
+}
+
+void
+DataCache::handleCboZero(const CpuReq &req)
+{
+    // CBO.ZERO behaves like a full-line store: exclusive permissions are
+    // required (BOOM lacks AcquirePerm, §3.3, so a miss re-acquires the
+    // whole block even though its data is about to be overwritten).
+    const Addr line = lineAlign(req.addr);
+
+    const int fshr = fshrForLine(line);
+    if (fshr >= 0 || flushQueueHasLine(line)) {
+        respondNack(req); // same dependence rule as stores (§5.3)
+        return;
+    }
+
+    const int way = arrays_.findWay(line);
+    if (way >= 0) {
+        const unsigned set = arrays_.setOf(line);
+        L1Meta &meta = arrays_.meta(set, static_cast<unsigned>(way));
+        if (meta.state == ClientState::Trunk) {
+            arrays_.data(set, static_cast<unsigned>(way)) = LineData{};
+            meta.dirty = true;
+            arrays_.touch(set, static_cast<unsigned>(way));
+            respond(req, 0, cfg_.hit_latency);
+            stats_[sp_ + "cbo_zero"]++;
+            return;
+        }
+        if (missToMshr(req, Grow::BtoT)) {
+            respond(req, 0, 1);
+            stats_[sp_ + "cbo_zero"]++;
+        } else {
+            respondNack(req);
+        }
+        return;
+    }
+    if (missToMshr(req, Grow::NtoT)) {
+        respond(req, 0, 1);
+        stats_[sp_ + "cbo_zero"]++;
+    } else {
+        respondNack(req);
+    }
+}
+
+// ---------------------------------------------------------------------
+// MSHR path (§3.3).
+// ---------------------------------------------------------------------
+
+int
+DataCache::mshrForLine(Addr line) const
+{
+    for (unsigned i = 0; i < mshrs_.size(); ++i) {
+        if (mshrs_[i].valid && mshrs_[i].line == line)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+DataCache::fshrForLine(Addr line) const
+{
+    for (unsigned i = 0; i < fshrs_.size(); ++i) {
+        if (fshrs_[i].busy() && fshrs_[i].req.addr == line)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+bool
+DataCache::flushQueueHasLine(Addr line) const
+{
+    for (const FlushQueueEntry &e : flush_q_) {
+        if (e.addr == line)
+            return true;
+    }
+    return false;
+}
+
+bool
+DataCache::wayReservedByMshr(unsigned set, unsigned way) const
+{
+    for (const L1Mshr &m : mshrs_) {
+        if (m.valid && m.fill_set == set && m.fill_way == way)
+            return true;
+    }
+    return false;
+}
+
+int
+DataCache::pickVictim(unsigned set) const
+{
+    int best = -1;
+    std::uint64_t best_stamp = ~std::uint64_t{0};
+    for (unsigned w = 0; w < arrays_.ways(); ++w) {
+        const L1Meta &m = arrays_.meta(set, w);
+        if (wayReservedByMshr(set, w))
+            continue;
+        if (!m.valid())
+            return static_cast<int>(w);
+        const Addr line = arrays_.addrOf(set, w);
+        // flush_rdy blocks the MSHRs from victimising a line an FSHR is
+        // working on (§5.4.2).
+        const int fshr = fshrForLine(line);
+        if (fshr >= 0 &&
+            !fshrs_[static_cast<unsigned>(fshr)].flushRdyFor(line)) {
+            continue;
+        }
+        if (arrays_.stampOf(set, w) < best_stamp) {
+            best_stamp = arrays_.stampOf(set, w);
+            best = static_cast<int>(w);
+        }
+    }
+    return best;
+}
+
+bool
+DataCache::missToMshr(const CpuReq &req, Grow grow)
+{
+    const Addr line = lineAlign(req.addr);
+
+    // Piggy-back on an existing MSHR for this line if permitted (§3.3).
+    const int existing = mshrForLine(line);
+    if (existing >= 0) {
+        L1Mshr &m = mshrs_[static_cast<unsigned>(existing)];
+        if (!m.accepts(req.kind) || m.rpq.size() >= cfg_.rpq_depth)
+            return false;
+        m.rpq.push_back(req);
+        stats_[sp_ + "mshr_secondary"]++;
+        return true;
+    }
+
+    int free = -1;
+    for (unsigned i = 0; i < mshrs_.size(); ++i) {
+        if (!mshrs_[i].valid) {
+            free = static_cast<int>(i);
+            break;
+        }
+    }
+    if (free < 0) {
+        stats_[sp_ + "mshr_full"]++;
+        return false;
+    }
+
+    const unsigned set = arrays_.setOf(line);
+    int fill_way = arrays_.findWay(line); // resident: a BtoT upgrade
+    if (fill_way < 0) {
+        // Need a way: evict a victim through the writeback unit.
+        const int victim = pickVictim(set);
+        if (victim < 0)
+            return false;
+        L1Meta &vm = arrays_.meta(set, static_cast<unsigned>(victim));
+        if (vm.valid()) {
+            if (wbu_.busy())
+                return false; // single WBU; retry later
+            const Addr victim_line = arrays_.addrOf(
+                set, static_cast<unsigned>(victim));
+            wbu_.line = victim_line;
+            wbu_.dirty = vm.dirty;
+            wbu_.data = arrays_.data(set, static_cast<unsigned>(victim));
+            wbu_.param = shrinkFor(vm.state, ClientState::Nothing);
+            wbu_.state = WritebackUnit::State::SendRelease;
+            vm = L1Meta{};
+            // §5.4.2: evictions invalidate matching flush-queue entries.
+            invalidateFlushEntries(victim_line, true);
+            stats_[sp_ + "evictions"]++;
+        }
+        fill_way = victim;
+    }
+
+    L1Mshr &m = mshrs_[static_cast<unsigned>(free)];
+    m.valid = true;
+    m.state = L1Mshr::State::AwaitIssue;
+    m.line = line;
+    m.param = grow;
+    m.rpq.clear();
+    m.rpq.push_back(req);
+    m.fill_set = set;
+    m.fill_way = static_cast<unsigned>(fill_way);
+    stats_[sp_ + "mshr_primary"]++;
+    return true;
+}
+
+void
+DataCache::issueAcquires()
+{
+    for (L1Mshr &m : mshrs_) {
+        if (m.valid && m.state == L1Mshr::State::AwaitIssue) {
+            AMsg msg;
+            msg.addr = m.line;
+            msg.param = m.param;
+            msg.source = id_;
+            link_.a.send(msg);
+            m.state = L1Mshr::State::AwaitGrant;
+        }
+    }
+}
+
+void
+DataCache::tickWbu()
+{
+    if (wbu_.state != WritebackUnit::State::SendRelease)
+        return;
+    CMsg msg;
+    msg.addr = wbu_.line;
+    msg.param = wbu_.param;
+    msg.source = id_;
+    if (wbu_.dirty) {
+        msg.op = COp::ReleaseData;
+        msg.data = wbu_.data;
+    } else {
+        msg.op = COp::Release;
+    }
+    link_.c.send(msg, TLLink::beatsFor(msg));
+    wbu_.state = WritebackUnit::State::AwaitAck;
+    stats_[sp_ + "writebacks"]++;
+}
+
+// ---------------------------------------------------------------------
+// Flush unit (§5.2).
+// ---------------------------------------------------------------------
+
+void
+DataCache::invalidateFlushEntries(Addr line, bool fully_invalidated)
+{
+    for (FlushQueueEntry &e : flush_q_) {
+        if (e.addr != line)
+            continue;
+        if (fully_invalidated)
+            e.is_hit = false;
+        // Either way the line can no longer be dirty here: a probe with
+        // data or an eviction carried the dirty bytes away.
+        e.is_dirty = false;
+    }
+}
+
+void
+DataCache::flushUnitDequeue()
+{
+    if (flush_q_.empty())
+        return;
+    // §5.4.1/2: dequeue only when no probe is in flight (probe_rdy) and
+    // the writeback unit is not working on this line (wb_rdy).
+    if (!probe_.probeRdy())
+        return;
+    const FlushQueueEntry &head = flush_q_.front();
+    if (wbu_.conflictsWith(head.addr))
+        return;
+    if (fshrForLine(head.addr) >= 0)
+        return; // one FSHR per line at a time
+
+    // Round-robin FSHR allocation (§5.2).
+    int chosen = -1;
+    for (unsigned i = 0; i < fshrs_.size(); ++i) {
+        const unsigned idx = (fshr_rr_ + i) % fshrs_.size();
+        if (!fshrs_[idx].busy()) {
+            chosen = static_cast<int>(idx);
+            break;
+        }
+    }
+    if (chosen < 0)
+        return;
+    fshr_rr_ = (static_cast<unsigned>(chosen) + 1) % fshrs_.size();
+
+    Fshr &f = fshrs_[static_cast<unsigned>(chosen)];
+    f = Fshr{};
+    f.req = flush_q_.pop();
+
+    // Build the execution plan (Figure 7). The interlocks guarantee the
+    // snapshot still matches the array: assert it.
+    if (f.req.is_hit) {
+        const int way = arrays_.findWay(f.req.addr);
+        SKIPIT_ASSERT(way >= 0, "flush-queue hit entry vanished");
+        f.set = arrays_.setOf(f.req.addr);
+        f.way = way;
+        const L1Meta &meta = arrays_.meta(f.set,
+                                          static_cast<unsigned>(way));
+        SKIPIT_ASSERT(meta.dirty == f.req.is_dirty,
+                      "flush-queue dirty snapshot stale");
+        const ClientState old = meta.state;
+        if (f.req.isClean()) {
+            f.report = shrinkFor(old, old); // TtoT / BtoB
+        } else {
+            f.report = shrinkFor(old, ClientState::Nothing);
+        }
+        if (f.req.kind == CboKind::Inval || !f.req.is_dirty) {
+            // Inval discards dirty data (no buffer fill); a clean hit on
+            // a clean line does not even touch the metadata.
+            f.state = (f.req.isClean())
+                          ? Fshr::State::RootRelease
+                          : Fshr::State::MetaWrite;
+        } else {
+            f.state = Fshr::State::MetaWrite;
+        }
+    } else {
+        f.report = Shrink::NtoN;
+        f.state = Fshr::State::RootRelease;
+    }
+    f.wait_until = sim_.now() + 1;
+    stats_[sp_ + "fshr_allocs"]++;
+}
+
+void
+DataCache::tickFshrs()
+{
+    for (Fshr &f : fshrs_) {
+        if (!f.busy() || sim_.now() < f.wait_until)
+            continue;
+        switch (f.state) {
+          case Fshr::State::Invalid:
+            SKIPIT_PANIC("busy FSHR in Invalid state");
+
+          case Fshr::State::MetaWrite: {
+            L1Meta &meta = arrays_.meta(f.set,
+                                        static_cast<unsigned>(f.way));
+            if (f.req.isClean()) {
+                meta.dirty = false;
+            } else {
+                meta = L1Meta{}; // flush/inval invalidate (§5.2)
+            }
+            const bool carries_data =
+                f.req.is_dirty && f.req.kind != CboKind::Inval;
+            f.state = carries_data ? Fshr::State::FillBuffer
+                                   : Fshr::State::RootRelease;
+            f.wait_until = sim_.now() + 1;
+            break;
+          }
+
+          case Fshr::State::FillBuffer: {
+            f.buffer = arrays_.data(f.set, static_cast<unsigned>(f.way));
+            f.buffer_filled = true;
+            f.state = Fshr::State::RootReleaseData;
+            // The widened data array serves a full line in one cycle
+            // (§5.2); the unmodified array needs one word per cycle.
+            f.wait_until = sim_.now() +
+                (cfg_.wide_data_array ? 1 : line_bytes / 8);
+            break;
+          }
+
+          case Fshr::State::RootReleaseData:
+          case Fshr::State::RootRelease: {
+            CMsg msg;
+            msg.addr = f.req.addr;
+            msg.param = f.report;
+            msg.cbo = f.req.kind;
+            msg.source = id_;
+            if (f.state == Fshr::State::RootReleaseData) {
+                msg.op = COp::RootReleaseData;
+                msg.data = f.buffer;
+            } else {
+                msg.op = COp::RootRelease;
+            }
+            link_.c.send(msg, TLLink::beatsFor(msg));
+            f.state = Fshr::State::RootReleaseAck;
+            break;
+          }
+
+          case Fshr::State::RootReleaseAck:
+            break; // completion handled in processChannelD()
+        }
+    }
+}
+
+void
+DataCache::completeFshr(Fshr &f)
+{
+    if (f.req.isClean() && cfg_.skip_it && cfg_.skip_set_on_clean_ack) {
+        // The clean just wrote every dirty copy back to memory. If the
+        // line is still resident and has not been re-dirtied, it is now
+        // provably persisted: set the skip bit.
+        const int way = arrays_.findWay(f.req.addr);
+        if (way >= 0) {
+            L1Meta &meta = arrays_.meta(arrays_.setOf(f.req.addr),
+                                        static_cast<unsigned>(way));
+            if (!meta.dirty)
+                meta.skip = true;
+        }
+    }
+    SKIPIT_TRACE_LOG(sim_.now(), "flush", name(), " fshr complete 0x",
+                     std::hex, f.req.addr);
+    f = Fshr{};
+    SKIPIT_ASSERT(flush_counter_ > 0, "flush counter underflow");
+    --flush_counter_;
+    stats_[sp_ + "fshr_completions"]++;
+}
+
+} // namespace skipit

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The SonicBOOM L1 data cache with the paper's flush unit and Skip It.
+ *
+ * This is the reproduction of the paper's primary contribution: the
+ * non-blocking L1 (§3.3) extended with
+ *  - the flush unit (§5.2): flush queue, FSHRs, flush counter;
+ *  - CBO.X handling rules for loads / stores / coalescing (§5.3);
+ *  - the writeback-interference interlocks probe_invalidate, flush_rdy,
+ *    probe_rdy and wb_rdy (§5.4);
+ *  - the Skip It skip bit and GrantDataDirty handling (§6).
+ */
+
+#ifndef SKIPIT_L1_DATA_CACHE_HH
+#define SKIPIT_L1_DATA_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "config.hh"
+#include "cpu_interface.hh"
+#include "sim/queues.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+#include "structures.hh"
+#include "tilelink/link.hh"
+
+namespace skipit {
+
+/**
+ * The per-core L1 data cache. TileLink client of the shared L2; server of
+ * its core's LSU via submit()/popResp().
+ */
+class DataCache : public Ticked
+{
+  public:
+    /**
+     * @param id   this cache's TileLink source id (== core index)
+     * @param link the TileLink towards the L2 (client end)
+     */
+    DataCache(std::string name, Simulator &sim, const L1Config &cfg,
+              AgentId id, TLLink &link, Stats &stats);
+
+    void tick() override;
+
+    /// @name LSU-facing interface
+    /// @{
+    /** Fire a request into the cache (models the LSU request port). */
+    void submit(const CpuReq &req);
+    bool respReady() const { return resp_q_.ready(); }
+    CpuResp popResp() { return resp_q_.pop(); }
+
+    /** The flushing signal (§5.3 Fences): true while the flush counter is
+     *  non-zero, i.e. some CBO.X is pending in the queue or an FSHR. */
+    bool flushing() const { return flush_counter_ > 0; }
+    /// @}
+
+    /// @name Test introspection
+    /// @{
+    const L1Arrays &arrays() const { return arrays_; }
+    ClientState lineState(Addr addr) const;
+    bool lineDirty(Addr addr) const;
+    bool lineSkip(Addr addr) const;
+    unsigned flushCounter() const { return flush_counter_; }
+    bool quiesced() const;
+    /** Read a cached word without timing side effects.
+     *  @return false if the line is not resident */
+    bool peekWord(Addr addr, std::uint64_t &value) const;
+    /// @}
+
+  private:
+    Simulator &sim_;
+    L1Config cfg_;
+    AgentId id_;
+    TLLink &link_;
+    Stats &stats_;
+    std::string sp_; //!< stats prefix "l1.<id>."
+
+    L1Arrays arrays_;
+    std::vector<L1Mshr> mshrs_;
+    WritebackUnit wbu_;
+    ProbeUnit probe_;
+    BoundedFifo<FlushQueueEntry> flush_q_;
+    std::vector<Fshr> fshrs_;
+    unsigned flush_counter_ = 0;
+    unsigned fshr_rr_ = 0; //!< round-robin FSHR allocation pointer (§5.2)
+
+    DelayQueue<CpuReq> in_q_;          //!< LSU -> cache request pipe
+    CompletionBuffer<CpuResp> resp_q_; //!< cache -> LSU responses
+
+    /// @name Per-tick stages
+    /// @{
+    void processChannelD();
+    void processProbe();
+    void processCpuRequests();
+    void flushUnitDequeue();
+    void tickFshrs();
+    void tickWbu();
+    void issueAcquires();
+    /// @}
+
+    /// @name Request handling
+    /// @{
+    void handleLoad(const CpuReq &req);
+    void handleStore(const CpuReq &req);
+    void handleCbo(const CpuReq &req);
+    void handleCboZero(const CpuReq &req);
+    void respond(const CpuReq &req, std::uint64_t data, Cycle delay);
+    void respondNack(const CpuReq &req);
+    /// @}
+
+    /// @name MSHR path
+    /// @{
+    /** Try to merge @p req into an existing MSHR or allocate a new one.
+     *  @return false -> the LSU must be nacked. */
+    bool missToMshr(const CpuReq &req, Grow grow);
+    int mshrForLine(Addr line) const;
+    void fillFromGrant(const DMsg &grant);
+    void replay(L1Mshr &m, unsigned fill_set, unsigned fill_way);
+    /** Pick an eviction victim in @p set honouring flush_rdy and MSHR
+     *  reservations. @return way or -1. */
+    int pickVictim(unsigned set) const;
+    bool wayReservedByMshr(unsigned set, unsigned way) const;
+    /// @}
+
+    /// @name Flush unit
+    /// @{
+    /** Is any FSHR working on @p line (flush_rdy low)? */
+    int fshrForLine(Addr line) const;
+    bool flushQueueHasLine(Addr line) const;
+    /** §5.4: reset hit/dirty of queued entries for @p line after a probe
+     *  or eviction downgraded the line to @p cap equivalent. */
+    void invalidateFlushEntries(Addr line, bool fully_invalidated);
+    void completeFshr(Fshr &f);
+    /// @}
+
+    /// @name Data helpers
+    /// @{
+    std::uint64_t readWord(const LineData &line, Addr addr,
+                           unsigned size) const;
+    void writeWord(LineData &line, Addr addr, unsigned size,
+                   std::uint64_t value);
+    /// @}
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_L1_DATA_CACHE_HH

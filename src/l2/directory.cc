@@ -1,0 +1,86 @@
+#include "directory.hh"
+
+namespace skipit {
+
+Directory::Directory(unsigned sets, unsigned ways)
+    : sets_(sets), ways_(ways),
+      entries_(static_cast<std::size_t>(sets) * ways),
+      lru_stamp_(entries_.size(), 0), locked_(entries_.size(), false)
+{
+    SKIPIT_ASSERT(sets > 0 && ways > 0, "directory geometry must be > 0");
+}
+
+int
+Directory::findWay(Addr line_addr) const
+{
+    const unsigned set = setOf(line_addr);
+    const Addr tag = tagOf(line_addr);
+    for (unsigned w = 0; w < ways_; ++w) {
+        const DirEntry &e = entries_[index(set, w)];
+        if (e.valid && e.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+DirEntry &
+Directory::entry(unsigned set, unsigned way)
+{
+    return entries_[index(set, way)];
+}
+
+const DirEntry &
+Directory::entry(unsigned set, unsigned way) const
+{
+    return entries_[index(set, way)];
+}
+
+void
+Directory::touch(unsigned set, unsigned way)
+{
+    lru_stamp_[index(set, way)] = ++stamp_;
+}
+
+int
+Directory::pickVictim(unsigned set) const
+{
+    // Prefer an invalid, unlocked way.
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!entries_[index(set, w)].valid && !locked_[index(set, w)])
+            return static_cast<int>(w);
+    }
+    // Otherwise the least recently used unlocked way.
+    int victim = -1;
+    std::uint64_t best = ~std::uint64_t{0};
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (locked_[index(set, w)])
+            continue;
+        if (lru_stamp_[index(set, w)] < best) {
+            best = lru_stamp_[index(set, w)];
+            victim = static_cast<int>(w);
+        }
+    }
+    return victim;
+}
+
+void
+Directory::lockWay(unsigned set, unsigned way)
+{
+    SKIPIT_ASSERT(!locked_[index(set, way)], "double lock of L2 way");
+    locked_[index(set, way)] = true;
+}
+
+void
+Directory::unlockWay(unsigned set, unsigned way)
+{
+    SKIPIT_ASSERT(locked_[index(set, way)], "unlock of unlocked L2 way");
+    locked_[index(set, way)] = false;
+}
+
+bool
+Directory::isLocked(unsigned set, unsigned way) const
+{
+    return locked_[index(set, way)];
+}
+
+} // namespace skipit

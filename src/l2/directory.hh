@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The inclusive cache's full-map directory (§3.4).
+ *
+ * Each resident line's metadata records its tag, dirty bit, and the exact
+ * set of L1 clients holding it: a branch (read-only) bitmask plus at most
+ * one trunk (read/write) owner. Inclusivity invariant: every line any L1
+ * holds is resident here.
+ */
+
+#ifndef SKIPIT_L2_DIRECTORY_HH
+#define SKIPIT_L2_DIRECTORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace skipit {
+
+/** Metadata for one L2 way. */
+struct DirEntry
+{
+    bool valid = false;
+    Addr tag = 0;
+    bool dirty = false;
+    std::uint32_t branches = 0;          //!< bitmask of read-only holders
+    AgentId trunk = invalid_agent;       //!< exclusive owner, if any
+
+    bool
+    heldByAnyone() const
+    {
+        return branches != 0 || trunk != invalid_agent;
+    }
+
+    bool
+    heldBy(AgentId id) const
+    {
+        return trunk == id || (branches & (1u << id)) != 0;
+    }
+
+    /** Remove @p id from all holder records. */
+    void
+    dropHolder(AgentId id)
+    {
+        if (trunk == id)
+            trunk = invalid_agent;
+        branches &= ~(1u << id);
+    }
+
+    /** Downgrade @p id from trunk to branch, if it was the trunk. */
+    void
+    downgradeHolder(AgentId id)
+    {
+        if (trunk == id) {
+            trunk = invalid_agent;
+            branches |= 1u << id;
+        }
+    }
+};
+
+/**
+ * Set-associative directory with per-set LRU replacement and way locking
+ * (a locked way belongs to an active MSHR transaction and must not be
+ * chosen as a victim).
+ */
+class Directory
+{
+  public:
+    Directory(unsigned sets, unsigned ways);
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+    unsigned
+    setOf(Addr line_addr) const
+    {
+        return static_cast<unsigned>((line_addr >> line_shift) % sets_);
+    }
+
+    Addr
+    tagOf(Addr line_addr) const
+    {
+        return line_addr >> line_shift;
+    }
+
+    /** @return way index of @p line_addr or -1 if not resident. */
+    int findWay(Addr line_addr) const;
+
+    DirEntry &entry(unsigned set, unsigned way);
+    const DirEntry &entry(unsigned set, unsigned way) const;
+
+    /** Rebuild a line address from an entry's tag. */
+    Addr
+    addrOf(unsigned set, unsigned way) const
+    {
+        return entry(set, way).tag << line_shift;
+    }
+
+    /** Mark @p way most-recently used in @p set. */
+    void touch(unsigned set, unsigned way);
+
+    /**
+     * Choose a victim way in @p set: an invalid way if one exists,
+     * otherwise the LRU unlocked way.
+     * @return way index, or -1 if every way is locked
+     */
+    int pickVictim(unsigned set) const;
+
+    void lockWay(unsigned set, unsigned way);
+    void unlockWay(unsigned set, unsigned way);
+    bool isLocked(unsigned set, unsigned way) const;
+
+  private:
+    unsigned sets_;
+    unsigned ways_;
+    std::vector<DirEntry> entries_;
+    std::vector<std::uint64_t> lru_stamp_;
+    std::vector<bool> locked_;
+    std::uint64_t stamp_ = 0;
+
+    std::size_t
+    index(unsigned set, unsigned way) const
+    {
+        SKIPIT_ASSERT(set < sets_ && way < ways_, "directory index OOB");
+        return static_cast<std::size_t>(set) * ways_ + way;
+    }
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_L2_DIRECTORY_HH

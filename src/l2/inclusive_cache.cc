@@ -1,0 +1,681 @@
+#include "inclusive_cache.hh"
+
+#include "sim/trace.hh"
+
+namespace skipit {
+
+namespace {
+
+/** Untracked DRAM tags (fire-and-forget victim writebacks) set this bit. */
+constexpr std::uint64_t untracked_bit = std::uint64_t{1} << 63;
+
+} // namespace
+
+InclusiveCache::InclusiveCache(std::string name, Simulator &sim,
+                               const L2Config &cfg, Dram &dram, Stats &stats)
+    : Ticked(std::move(name)), sim_(sim), cfg_(cfg), dram_(dram),
+      stats_(stats), dir_(cfg.sets, cfg.ways), store_(cfg.sets, cfg.ways),
+      mshrs_(cfg.mshrs), list_buffer_(cfg.list_buffer_cap)
+{
+}
+
+void
+InclusiveCache::connectClient(AgentId id, TLLink &link)
+{
+    if (static_cast<std::size_t>(id) >= links_.size())
+        links_.resize(id + 1, nullptr);
+    SKIPIT_ASSERT(links_[id] == nullptr, "client ", id, " already connected");
+    links_[id] = &link;
+}
+
+void
+InclusiveCache::tick()
+{
+    drainDramResponses();
+    acceptChannelC();
+    acceptChannelE();
+    retryListBuffer();
+    acceptChannelA();
+    for (unsigned i = 0; i < mshrs_.size(); ++i)
+        tickMshr(i);
+}
+
+bool
+InclusiveCache::idle() const
+{
+    for (const Mshr &m : mshrs_) {
+        if (m.valid)
+            return false;
+    }
+    return list_buffer_.empty();
+}
+
+bool
+InclusiveCache::isResident(Addr line_addr) const
+{
+    return dir_.findWay(lineAlign(line_addr)) >= 0;
+}
+
+bool
+InclusiveCache::isDirty(Addr line_addr) const
+{
+    const Addr line = lineAlign(line_addr);
+    const int way = dir_.findWay(line);
+    if (way < 0)
+        return false;
+    return dir_.entry(dir_.setOf(line), static_cast<unsigned>(way)).dirty;
+}
+
+std::uint64_t
+InclusiveCache::dramTagFor(unsigned mshr_idx, bool tracked) const
+{
+    if (tracked)
+        return mshr_idx;
+    return untracked_bit | untracked_tag_;
+}
+
+void
+InclusiveCache::drainDramResponses()
+{
+    while (dram_.respReady()) {
+        const MemResp resp = dram_.popResp();
+        if (resp.tag & untracked_bit)
+            continue; // fire-and-forget victim writeback
+        SKIPIT_ASSERT(resp.tag < mshrs_.size(), "bad DRAM tag");
+        Mshr &m = mshrs_[resp.tag];
+        SKIPIT_ASSERT(m.valid && m.awaiting_dram,
+                      "DRAM response for idle MSHR");
+        m.awaiting_dram = false;
+        if (!resp.write) {
+            // Fill from memory: install line data and a clean dir entry.
+            SKIPIT_ASSERT(m.state == Mshr::State::Fetch, "fill outside Fetch");
+            store_.write(m.set, static_cast<unsigned>(m.way), resp.data);
+            DirEntry &e = dir_.entry(m.set, static_cast<unsigned>(m.way));
+            e.valid = true;
+            e.tag = dir_.tagOf(m.line);
+            e.dirty = false;
+            e.branches = 0;
+            e.trunk = invalid_agent;
+            m.state = Mshr::State::Respond;
+            m.wait_until = sim_.now() + cfg_.data_latency;
+        } else {
+            SKIPIT_ASSERT(m.state == Mshr::State::MemWriteback,
+                          "write ack outside MemWriteback");
+            DirEntry &e = dir_.entry(m.set, static_cast<unsigned>(m.way));
+            e.dirty = false;
+            m.state = Mshr::State::Respond;
+            m.wait_until = sim_.now();
+        }
+    }
+}
+
+void
+InclusiveCache::applyReport(DirEntry &e, AgentId src, Shrink param)
+{
+    switch (param) {
+      case Shrink::TtoN:
+      case Shrink::BtoN:
+        e.dropHolder(src);
+        break;
+      case Shrink::TtoB:
+        e.downgradeHolder(src);
+        break;
+      case Shrink::TtoT:
+      case Shrink::BtoB:
+      case Shrink::NtoN:
+        break;
+    }
+}
+
+void
+InclusiveCache::handleRelease(const CMsg &msg)
+{
+    const int way = dir_.findWay(msg.addr);
+    SKIPIT_ASSERT(way >= 0, "voluntary Release for non-resident line ",
+                  std::hex, msg.addr, " violates inclusivity");
+    const unsigned set = dir_.setOf(msg.addr);
+    DirEntry &e = dir_.entry(set, static_cast<unsigned>(way));
+    applyReport(e, msg.source, msg.param);
+    if (msg.op == COp::ReleaseData) {
+        store_.write(set, static_cast<unsigned>(way), msg.data);
+        e.dirty = true;
+    }
+    stats_["l2.releases"]++;
+    DMsg ack;
+    ack.op = DOp::ReleaseAck;
+    ack.addr = msg.addr;
+    ack.dest = msg.source;
+    links_[msg.source]->d.send(ack, 1, cfg_.data_latency);
+}
+
+void
+InclusiveCache::applyRootReleaseArrival(const CMsg &msg)
+{
+    const int way = dir_.findWay(msg.addr);
+    if (way < 0) {
+        SKIPIT_ASSERT(!msg.hasData(),
+                      "RootReleaseData for non-resident line");
+        return;
+    }
+    const unsigned set = dir_.setOf(msg.addr);
+    DirEntry &e = dir_.entry(set, static_cast<unsigned>(way));
+    applyReport(e, msg.source, msg.param);
+    if (msg.hasData()) {
+        store_.write(set, static_cast<unsigned>(way), msg.data);
+        e.dirty = true;
+    }
+}
+
+void
+InclusiveCache::handleProbeAck(const CMsg &msg)
+{
+    const int idx = [&] {
+        for (unsigned i = 0; i < mshrs_.size(); ++i) {
+            const Mshr &m = mshrs_[i];
+            if (!m.valid || m.pending_acks == 0)
+                continue;
+            if (m.state == Mshr::State::ProbeHolders && m.line == msg.addr)
+                return static_cast<int>(i);
+            if (m.state == Mshr::State::EvictProbe &&
+                m.victim_line == msg.addr) {
+                return static_cast<int>(i);
+            }
+        }
+        return -1;
+    }();
+    SKIPIT_ASSERT(idx >= 0, "ProbeAck with no waiting MSHR, line ", std::hex,
+                  msg.addr);
+    Mshr &m = mshrs_[static_cast<unsigned>(idx)];
+
+    const bool for_victim = m.state == Mshr::State::EvictProbe;
+    const unsigned set = for_victim ? dir_.setOf(m.victim_line) : m.set;
+    const unsigned way = static_cast<unsigned>(
+        for_victim ? m.victim_way : m.way);
+    DirEntry &e = dir_.entry(set, way);
+    applyReport(e, msg.source, msg.param);
+    if (msg.op == COp::ProbeAckData) {
+        store_.write(set, way, msg.data);
+        e.dirty = true;
+    }
+    SKIPIT_ASSERT(m.pending_acks > 0, "unexpected ProbeAck");
+    --m.pending_acks;
+}
+
+void
+InclusiveCache::acceptChannelC()
+{
+    for (TLLink *link : links_) {
+        if (!link)
+            continue;
+        while (link->c.ready()) {
+            const CMsg msg = link->c.recv();
+            switch (msg.op) {
+              case COp::ProbeAck:
+              case COp::ProbeAckData:
+                handleProbeAck(msg);
+                break;
+              case COp::Release:
+              case COp::ReleaseData:
+                handleRelease(msg);
+                break;
+              case COp::RootRelease:
+              case COp::RootReleaseData:
+                // RootRelease is encoded as a ProbeAck (§5.1): like any
+                // probe ack, its permission report and dirty payload take
+                // effect on arrival — even if the transaction itself must
+                // wait for an MSHR. A concurrent Acquire on the line then
+                // grants the freshest data instead of a stale copy.
+                applyRootReleaseArrival(msg);
+                if (!tryAllocRootRelease(msg)) {
+                    const bool buffered = list_buffer_.tryPush(msg);
+                    SKIPIT_ASSERT(buffered, "L2 ListBuffer overflow; "
+                                  "increase list_buffer_cap");
+                    stats_["l2.listbuffer.buffered"]++;
+                }
+                break;
+            }
+        }
+    }
+}
+
+void
+InclusiveCache::acceptChannelE()
+{
+    for (TLLink *link : links_) {
+        if (!link)
+            continue;
+        while (link->e.ready()) {
+            const EMsg msg = link->e.recv();
+            const int idx = mshrForLine(msg.addr);
+            SKIPIT_ASSERT(idx >= 0, "GrantAck with no MSHR");
+            Mshr &m = mshrs_[static_cast<unsigned>(idx)];
+            SKIPIT_ASSERT(m.state == Mshr::State::WaitGrantAck,
+                          "GrantAck outside WaitGrantAck");
+            if (m.way_locked)
+                dir_.unlockWay(m.set, static_cast<unsigned>(m.way));
+            m.valid = false;
+            m.state = Mshr::State::Idle;
+        }
+    }
+}
+
+void
+InclusiveCache::retryListBuffer()
+{
+    while (!list_buffer_.empty()) {
+        if (!tryAllocRootRelease(list_buffer_.front()))
+            break;
+        list_buffer_.pop();
+    }
+}
+
+void
+InclusiveCache::acceptChannelA()
+{
+    for (TLLink *link : links_) {
+        if (!link)
+            continue;
+        // Head-of-line per client: an Acquire that conflicts with an
+        // in-flight transaction back-pressures the channel.
+        while (link->a.ready()) {
+            if (!tryAllocAcquire(link->a.front()))
+                break;
+            link->a.recv();
+        }
+    }
+}
+
+int
+InclusiveCache::findFreeMshr() const
+{
+    for (unsigned i = 0; i < mshrs_.size(); ++i) {
+        if (!mshrs_[i].valid)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+InclusiveCache::mshrForLine(Addr line) const
+{
+    for (unsigned i = 0; i < mshrs_.size(); ++i) {
+        const Mshr &m = mshrs_[i];
+        if (!m.valid)
+            continue;
+        if (m.line == line)
+            return static_cast<int>(i);
+        // A transaction evicting @p line as its victim also owns it: a
+        // concurrent transaction on the victim would race the probes and
+        // the fire-and-forget writeback.
+        if (m.has_victim && m.victim_line == line)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+bool
+InclusiveCache::tryAllocRootRelease(const CMsg &msg)
+{
+    if (mshrForLine(msg.addr) >= 0)
+        return false;
+    const int idx = findFreeMshr();
+    if (idx < 0)
+        return false;
+
+    Mshr &m = mshrs_[static_cast<unsigned>(idx)];
+    m = Mshr{};
+    m.valid = true;
+    m.kind = Mshr::Kind::RootRelease;
+    m.state = Mshr::State::DirLookup;
+    m.line = msg.addr;
+    m.set = dir_.setOf(msg.addr);
+    m.requester = msg.source;
+    m.creq = msg;
+    m.wait_until = sim_.now() + cfg_.tag_latency;
+    stats_[msg.cbo == CboKind::Flush   ? "l2.rootrelease.flush"
+           : msg.cbo == CboKind::Clean ? "l2.rootrelease.clean"
+                                       : "l2.rootrelease.inval"]++;
+    SKIPIT_TRACE_LOG(sim_.now(), "l2", name(), " rootrelease ",
+                     msg.cbo == CboKind::Flush ? "flush" : "clean",
+                     " 0x", std::hex, msg.addr, " from ", std::dec,
+                     msg.source);
+    return true;
+}
+
+bool
+InclusiveCache::tryAllocAcquire(const AMsg &msg)
+{
+    if (mshrForLine(msg.addr) >= 0)
+        return false;
+    const int idx = findFreeMshr();
+    if (idx < 0)
+        return false;
+
+    Mshr &m = mshrs_[static_cast<unsigned>(idx)];
+    m = Mshr{};
+    m.valid = true;
+    m.kind = Mshr::Kind::Acquire;
+    m.state = Mshr::State::DirLookup;
+    m.line = msg.addr;
+    m.set = dir_.setOf(msg.addr);
+    m.requester = msg.source;
+    m.areq = msg;
+    m.wait_until = sim_.now() + cfg_.tag_latency;
+    stats_["l2.acquires"]++;
+    return true;
+}
+
+std::vector<AgentId>
+InclusiveCache::holdersOf(const DirEntry &e, AgentId except) const
+{
+    std::vector<AgentId> out;
+    for (AgentId id = 0; id < static_cast<AgentId>(links_.size()); ++id) {
+        if (id == except)
+            continue;
+        if (e.heldBy(id))
+            out.push_back(id);
+    }
+    return out;
+}
+
+void
+InclusiveCache::startProbes(Mshr &m, Addr line, Cap cap,
+                            const std::vector<AgentId> &targets)
+{
+    SKIPIT_ASSERT(!targets.empty(), "startProbes with no targets");
+    m.pending_acks = static_cast<unsigned>(targets.size());
+    m.probe_cap = cap;
+    for (AgentId id : targets) {
+        BMsg probe;
+        probe.addr = line;
+        probe.param = cap;
+        links_[id]->b.send(probe);
+        stats_["l2.probes"]++;
+    }
+}
+
+void
+InclusiveCache::tickMshr(unsigned idx)
+{
+    Mshr &m = mshrs_[idx];
+    if (!m.valid || sim_.now() < m.wait_until)
+        return;
+
+    switch (m.state) {
+      case Mshr::State::Idle:
+        SKIPIT_PANIC("valid MSHR in Idle state");
+
+      case Mshr::State::DirLookup: {
+        const int way = dir_.findWay(m.line);
+        if (way >= 0 &&
+            dir_.isLocked(m.set, static_cast<unsigned>(way))) {
+            // Another transaction owns this way (it chose our line as its
+            // eviction victim just before we allocated); wait it out.
+            m.wait_until = sim_.now() + 1;
+            return;
+        }
+        if (m.kind == Mshr::Kind::RootRelease) {
+            m.line_was_resident = way >= 0;
+            if (way < 0) {
+                // Not resident: either it never was, or it was evicted
+                // after this request's payload was merged at arrival (in
+                // which case the eviction carried the data to DRAM).
+                // Nothing left to do but acknowledge.
+                m.state = Mshr::State::Respond;
+                m.wait_until = sim_.now();
+                return;
+            }
+            m.way = way;
+            dir_.lockWay(m.set, static_cast<unsigned>(way));
+            m.way_locked = true;
+            // The requester's report and any dirty payload were already
+            // applied when the message arrived (applyRootReleaseArrival).
+            DirEntry &e = dir_.entry(m.set, static_cast<unsigned>(way));
+            std::vector<AgentId> targets;
+            if (m.creq.cbo == CboKind::Flush ||
+                m.creq.cbo == CboKind::Inval) {
+                // Revoke every copy still recorded — including the
+                // requester's, which can legitimately re-hold the line
+                // (clean, via a load that slipped between the CBO's
+                // enqueue and its FSHR execution) after reporting NtoN.
+                targets = holdersOf(e, invalid_agent);
+                m.probe_cap = Cap::toN;
+            } else if (e.trunk != invalid_agent && e.trunk != m.requester) {
+                // Clean: only a foreign writable copy must be downgraded.
+                targets.push_back(e.trunk);
+                m.probe_cap = Cap::toB;
+            }
+            if (!targets.empty()) {
+                startProbes(m, m.line, m.probe_cap, targets);
+                m.state = Mshr::State::ProbeHolders;
+            } else {
+                m.state = Mshr::State::MemWriteback;
+            }
+            m.wait_until = sim_.now();
+            return;
+        }
+
+        // Acquire path.
+        if (way >= 0) {
+            m.way = way;
+            dir_.lockWay(m.set, static_cast<unsigned>(way));
+            m.way_locked = true;
+            DirEntry &e = dir_.entry(m.set, static_cast<unsigned>(way));
+            std::vector<AgentId> targets;
+            Cap cap = Cap::toN;
+            if (capForGrow(m.areq.param) == Cap::toT) {
+                targets = holdersOf(e, m.requester);
+                cap = Cap::toN;
+            } else if (e.trunk != invalid_agent &&
+                       e.trunk != m.requester) {
+                targets.push_back(e.trunk);
+                cap = Cap::toB;
+            }
+            if (!targets.empty()) {
+                startProbes(m, m.line, cap, targets);
+                m.state = Mshr::State::ProbeHolders;
+            } else {
+                m.state = Mshr::State::Respond;
+                m.wait_until = sim_.now() + cfg_.data_latency;
+            }
+            return;
+        }
+
+        // Miss: find a victim way to install into. Besides locked ways,
+        // refuse to victimise a line that already has an MSHR allocated
+        // on it but has not yet locked its way (the allocation-to-lookup
+        // window): two transactions probing one line would corrupt
+        // ProbeAck routing. The conflicting transaction completes and
+        // frees the line, so retrying resolves.
+        const int victim = dir_.pickVictim(m.set);
+        bool victim_conflicts = false;
+        if (victim >= 0) {
+            const DirEntry &ce =
+                dir_.entry(m.set, static_cast<unsigned>(victim));
+            if (ce.valid) {
+                const Addr cand =
+                    dir_.addrOf(m.set, static_cast<unsigned>(victim));
+                victim_conflicts = mshrForLine(cand) >= 0;
+            }
+        }
+        if (victim < 0 || victim_conflicts) {
+            m.wait_until = sim_.now() + 1;
+            return;
+        }
+        m.way = victim;
+        dir_.lockWay(m.set, static_cast<unsigned>(victim));
+        m.way_locked = true;
+        DirEntry &v = dir_.entry(m.set, static_cast<unsigned>(victim));
+        if (v.valid) {
+            m.has_victim = true;
+            m.victim_way = victim;
+            m.victim_line = dir_.addrOf(m.set, static_cast<unsigned>(victim));
+            const std::vector<AgentId> targets =
+                holdersOf(v, invalid_agent);
+            if (!targets.empty()) {
+                // Inclusive back-invalidation of every L1 copy.
+                startProbes(m, m.victim_line, Cap::toN, targets);
+                m.state = Mshr::State::EvictProbe;
+            } else {
+                m.state = Mshr::State::EvictWriteback;
+            }
+        } else {
+            m.state = Mshr::State::Fetch;
+        }
+        return;
+      }
+
+      case Mshr::State::EvictProbe:
+        if (m.pending_acks == 0)
+            m.state = Mshr::State::EvictWriteback;
+        return;
+
+      case Mshr::State::EvictWriteback: {
+        DirEntry &v = dir_.entry(m.set, static_cast<unsigned>(m.victim_way));
+        if (v.dirty) {
+            if (!dram_.canAccept())
+                return;
+            MemReq req;
+            req.write = true;
+            req.addr = m.victim_line;
+            req.data = store_.read(m.set,
+                                   static_cast<unsigned>(m.victim_way));
+            req.tag = dramTagFor(idx, false);
+            ++untracked_tag_;
+            dram_.submit(req);
+            stats_["l2.victim_writebacks"]++;
+        }
+        v = DirEntry{};
+        m.state = Mshr::State::Fetch;
+        return;
+      }
+
+      case Mshr::State::Fetch: {
+        if (m.awaiting_dram)
+            return; // fill happens in drainDramResponses()
+        if (!dram_.canAccept())
+            return;
+        MemReq req;
+        req.write = false;
+        req.addr = m.line;
+        req.tag = dramTagFor(idx, true);
+        dram_.submit(req);
+        m.awaiting_dram = true;
+        stats_["l2.fills"]++;
+        return;
+      }
+
+      case Mshr::State::ProbeHolders:
+        if (m.pending_acks != 0)
+            return;
+        if (m.kind == Mshr::Kind::RootRelease) {
+            m.state = Mshr::State::MemWriteback;
+        } else {
+            m.state = Mshr::State::Respond;
+            m.wait_until = sim_.now() + cfg_.data_latency;
+        }
+        return;
+
+      case Mshr::State::MemWriteback: {
+        if (m.awaiting_dram)
+            return;
+        DirEntry &e = dir_.entry(m.set, static_cast<unsigned>(m.way));
+        if (m.kind == Mshr::Kind::RootRelease &&
+            m.creq.cbo == CboKind::Inval) {
+            // CBO.INVAL discards: no DRAM write, dirty data is dropped
+            // (that is its contract — the spec permits the data loss).
+            e.dirty = false;
+            stats_["l2.rootrelease.inval_discarded"]++;
+            m.state = Mshr::State::Respond;
+            m.wait_until = sim_.now();
+            return;
+        }
+        const bool must_write = e.dirty || !cfg_.llc_skip;
+        if (!must_write) {
+            // LLC trivial skip (§5.5): clean line, memory already current.
+            stats_["l2.rootrelease.llc_skipped"]++;
+            m.state = Mshr::State::Respond;
+            m.wait_until = sim_.now();
+            return;
+        }
+        if (!dram_.canAccept())
+            return;
+        MemReq req;
+        req.write = true;
+        req.addr = m.line;
+        req.data = store_.read(m.set, static_cast<unsigned>(m.way));
+        req.tag = dramTagFor(idx, true);
+        dram_.submit(req);
+        m.awaiting_dram = true;
+        stats_["l2.rootrelease.mem_writebacks"]++;
+        return;
+      }
+
+      case Mshr::State::Respond: {
+        if (m.kind == Mshr::Kind::RootRelease) {
+            if (m.line_was_resident && (m.creq.cbo == CboKind::Flush ||
+                                        m.creq.cbo == CboKind::Inval)) {
+                DirEntry &e = dir_.entry(m.set,
+                                         static_cast<unsigned>(m.way));
+                SKIPIT_ASSERT(!e.heldByAnyone(),
+                              "flush completing with live L1 holders");
+                e = DirEntry{};
+            }
+            if (m.way_locked)
+                dir_.unlockWay(m.set, static_cast<unsigned>(m.way));
+            DMsg ack;
+            ack.op = DOp::RootReleaseAck;
+            ack.addr = m.line;
+            ack.dest = m.requester;
+            links_[m.requester]->d.send(ack, 1,
+                                        cfg_.rootrelease_ack_latency);
+            m.valid = false;
+            m.state = Mshr::State::Idle;
+            return;
+        }
+
+        // Acquire grant.
+        DirEntry &e = dir_.entry(m.set, static_cast<unsigned>(m.way));
+        Cap cap = capForGrow(m.areq.param);
+        if (cap == Cap::toB && !e.heldByAnyone()) {
+            // Sole reader: grant exclusive (MESI E) like the SiFive L2.
+            cap = Cap::toT;
+        }
+        if (cap == Cap::toT) {
+            SKIPIT_ASSERT(holdersOf(e, m.requester).empty(),
+                          "exclusive grant with other holders: line ",
+                          std::hex, m.line, " req ", std::dec, m.requester,
+                          " grow ", static_cast<int>(m.areq.param),
+                          " trunk ", e.trunk, " branches ", std::hex,
+                          e.branches);
+            e.branches = 0;
+            e.trunk = m.requester;
+        } else {
+            e.branches |= 1u << m.requester;
+        }
+        dir_.touch(m.set, static_cast<unsigned>(m.way));
+
+        DMsg grant;
+        grant.op = (e.dirty && cfg_.grant_data_dirty) ? DOp::GrantDataDirty
+                                                      : DOp::GrantData;
+        grant.addr = m.line;
+        grant.cap = cap;
+        grant.data = store_.read(m.set, static_cast<unsigned>(m.way));
+        grant.dest = m.requester;
+        links_[m.requester]->d.send(grant, TLLink::beatsFor(grant));
+        stats_[grant.op == DOp::GrantDataDirty ? "l2.grants.dirty"
+                                               : "l2.grants.clean"]++;
+        SKIPIT_TRACE_LOG(sim_.now(), "l2", name(), " grant",
+                         grant.op == DOp::GrantDataDirty ? "-dirty 0x"
+                                                         : " 0x",
+                         std::hex, m.line, " to ", std::dec, m.requester);
+        m.state = Mshr::State::WaitGrantAck;
+        return;
+      }
+
+      case Mshr::State::WaitGrantAck:
+        return; // completion handled in acceptChannelE()
+    }
+}
+
+} // namespace skipit

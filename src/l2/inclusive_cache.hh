@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The shared inclusive last-level cache, modelled on the SiFive inclusive
+ * cache (§3.4) with the paper's RootRelease support added (§5.5) and the
+ * Skip-It GrantDataDirty response (§6).
+ *
+ * Structure follows the original: SinkC dispatches incoming C-channel
+ * traffic, a ListBuffer holds RootReleases awaiting an MSHR, MSHRs run the
+ * transactions, the BankedStore holds line data, the Directory holds
+ * metadata with full-map holder tracking, SourceC writes back to memory and
+ * SourceD issues responses.
+ */
+
+#ifndef SKIPIT_L2_INCLUSIVE_CACHE_HH
+#define SKIPIT_L2_INCLUSIVE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "banked_store.hh"
+#include "directory.hh"
+#include "dram/dram.hh"
+#include "sim/queues.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+#include "tilelink/link.hh"
+
+namespace skipit {
+
+/** Last-level cache parameters. */
+struct L2Config
+{
+    unsigned sets = 1024;       //!< 1024 x 8 x 64 B = 512 KiB (§7.1)
+    unsigned ways = 8;
+    unsigned mshrs = 32;
+    unsigned list_buffer_cap = 128;
+    Cycle tag_latency = 8;      //!< directory access
+    Cycle data_latency = 8;     //!< BankedStore access
+    /** Pipeline latency of the RootReleaseAck response path (SourceD
+     *  scheduling, cross-clock queues); purely a latency, the MSHR has
+     *  already been freed. Calibrated so a single CBO.X round trip is
+     *  ~100 cycles as the paper measures (Fig 9). */
+    Cycle rootrelease_ack_latency = 60;
+    /** LLC trivial skip (§5.5): a clean line's RootRelease skips DRAM.
+     *  Always true in the paper's L2; exposed for the ablation bench. */
+    bool llc_skip = true;
+    /** Respond GrantDataDirty when the granted line is dirty in L2 (§6).
+     *  Off = plain GrantData always, i.e. a pre-Skip-It L2. */
+    bool grant_data_dirty = true;
+};
+
+/**
+ * The inclusive LLC. Acts as TileLink manager to each L1 client link and
+ * as client to the DRAM controller.
+ */
+class InclusiveCache : public Ticked
+{
+  public:
+    InclusiveCache(std::string name, Simulator &sim, const L2Config &cfg,
+                   Dram &dram, Stats &stats);
+
+    /** Attach client @p id's link; call once per L1 before simulating. */
+    void connectClient(AgentId id, TLLink &link);
+
+    void tick() override;
+
+    /** True when no transaction is in flight (quiesced). */
+    bool idle() const;
+
+    /// @name Introspection for tests
+    /// @{
+    const Directory &directory() const { return dir_; }
+    const BankedStore &store() const { return store_; }
+    /** Line state snapshot: resident? dirty? */
+    bool isResident(Addr line_addr) const;
+    bool isDirty(Addr line_addr) const;
+    /// @}
+
+  private:
+    /** One L2 transaction in flight. */
+    struct Mshr
+    {
+        enum class Kind { Acquire, RootRelease };
+        enum class State
+        {
+            Idle,
+            DirLookup,      //!< directory access underway
+            EvictProbe,     //!< awaiting victim back-invalidation acks
+            EvictWriteback, //!< push dirty victim to DRAM (fire & forget)
+            Fetch,          //!< awaiting DRAM read
+            ProbeHolders,   //!< awaiting probe acks for the requested line
+            MemWriteback,   //!< RootRelease: awaiting DRAM write ack (§5.5)
+            Respond,        //!< issue Grant* / RootReleaseAck
+            WaitGrantAck,   //!< Acquire: awaiting channel E completion
+        };
+
+        bool valid = false;
+        Kind kind = Kind::Acquire;
+        State state = State::Idle;
+        Addr line = 0;
+        AgentId requester = invalid_agent;
+        AMsg areq{};
+        CMsg creq{};
+
+        int way = -1;              //!< way of the requested line, if any
+        unsigned set = 0;
+        bool way_locked = false;
+        bool line_was_resident = false;
+
+        // Victim handling (Acquire misses in a full set).
+        bool has_victim = false;
+        Addr victim_line = 0;
+        int victim_way = -1;
+        bool victim_dirty = false;
+
+        unsigned pending_acks = 0;
+        std::vector<AgentId> to_probe;
+        Cap probe_cap = Cap::toN;
+        Cycle wait_until = 0;
+        bool awaiting_dram = false;
+    };
+
+    Simulator &sim_;
+    L2Config cfg_;
+    Dram &dram_;
+    Stats &stats_;
+
+    std::vector<TLLink *> links_;
+    Directory dir_;
+    BankedStore store_;
+    std::vector<Mshr> mshrs_;
+    BoundedFifo<CMsg> list_buffer_;
+    std::uint64_t untracked_tag_ = 0;
+
+    void drainDramResponses();
+    void acceptChannelC();
+    void acceptChannelE();
+    void acceptChannelA();
+    void retryListBuffer();
+    void tickMshr(unsigned idx);
+
+    /**
+     * Voluntary Release / ReleaseData from an L1 writeback unit. Applied
+     * in C-channel arrival order, before any later ProbeAck, so that dirty
+     * data released during a concurrent RootRelease is never lost.
+     */
+    void handleRelease(const CMsg &msg);
+
+    /** Route a ProbeAck[Data] to the MSHR expecting it. */
+    void handleProbeAck(const CMsg &msg);
+
+    /**
+     * Apply a RootRelease's permission report and dirty payload to the
+     * directory at arrival — RootRelease is encoded as ProbeAck (§5.1)
+     * and behaves like one even while waiting for an MSHR.
+     */
+    void applyRootReleaseArrival(const CMsg &msg);
+
+    /** Try to start a RootRelease transaction. @return false if no MSHR. */
+    bool tryAllocRootRelease(const CMsg &msg);
+
+    /** Try to start an Acquire transaction. @return false if blocked. */
+    bool tryAllocAcquire(const AMsg &msg);
+
+    int findFreeMshr() const;
+    int mshrForLine(Addr line) const;
+    /** Apply a C-channel shrink report to the directory entry. */
+    static void applyReport(DirEntry &e, AgentId src, Shrink param);
+
+    void startProbes(Mshr &m, Addr line, Cap cap,
+                     const std::vector<AgentId> &targets);
+    std::vector<AgentId> holdersOf(const DirEntry &e, AgentId except) const;
+
+    std::uint64_t dramTagFor(unsigned mshr_idx, bool tracked) const;
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_L2_INCLUSIVE_CACHE_HH

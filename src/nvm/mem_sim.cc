@@ -1,0 +1,419 @@
+#include "mem_sim.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace skipit {
+
+MemSim::MemSim(const NvmConfig &cfg)
+    : cfg_(cfg),
+      l1_(cfg.cores,
+          std::vector<L1Line>(static_cast<std::size_t>(cfg.l1_sets) *
+                              cfg.l1_ways)),
+      l2_(static_cast<std::size_t>(cfg.l2_sets) * cfg.l2_ways),
+      clocks_(cfg.cores, 0)
+{
+    SKIPIT_ASSERT(cfg.cores >= 1 && cfg.cores <= 32, "bad core count");
+}
+
+Cycle
+MemSim::clock(unsigned tid) const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return clocks_.at(tid);
+}
+
+void
+MemSim::reset()
+{
+    std::lock_guard<std::mutex> g(mu_);
+    for (auto &l1 : l1_)
+        std::fill(l1.begin(), l1.end(), L1Line{});
+    std::fill(l2_.begin(), l2_.end(), L2Line{});
+    l3_.clear();
+}
+
+MemSim::L1Line *
+MemSim::findL1(unsigned core, Addr line)
+{
+    const unsigned set =
+        static_cast<unsigned>((line >> line_shift) % cfg_.l1_sets);
+    L1Line *base = &l1_[core][static_cast<std::size_t>(set) * cfg_.l1_ways];
+    for (unsigned w = 0; w < cfg_.l1_ways; ++w) {
+        if (base[w].valid && base[w].line == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const MemSim::L1Line *
+MemSim::findL1(unsigned core, Addr line) const
+{
+    return const_cast<MemSim *>(this)->findL1(core, line);
+}
+
+MemSim::L2Line *
+MemSim::findL2(Addr line)
+{
+    const unsigned set =
+        static_cast<unsigned>((line >> line_shift) % cfg_.l2_sets);
+    L2Line *base = &l2_[static_cast<std::size_t>(set) * cfg_.l2_ways];
+    for (unsigned w = 0; w < cfg_.l2_ways; ++w) {
+        if (base[w].valid && base[w].line == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const MemSim::L2Line *
+MemSim::findL2(Addr line) const
+{
+    return const_cast<MemSim *>(this)->findL2(line);
+}
+
+void
+MemSim::touchL1(unsigned, L1Line &l)
+{
+    l.lru = ++stamp_;
+}
+
+void
+MemSim::touchL2(L2Line &l)
+{
+    l.lru = ++stamp_;
+}
+
+Cycle
+MemSim::fillL2(Addr line, bool dirty)
+{
+    Cycle extra = 0;
+    if (L2Line *hit = findL2(line)) {
+        hit->dirty = hit->dirty || dirty;
+        touchL2(*hit);
+        return extra;
+    }
+    const unsigned set =
+        static_cast<unsigned>((line >> line_shift) % cfg_.l2_sets);
+    L2Line *base = &l2_[static_cast<std::size_t>(set) * cfg_.l2_ways];
+    L2Line *victim = &base[0];
+    for (unsigned w = 0; w < cfg_.l2_ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    if (victim->valid) {
+        // Inclusive back-invalidation of every L1 copy of the victim.
+        for (unsigned c = 0; c < cfg_.cores; ++c) {
+            if (L1Line *l = findL1(c, victim->line)) {
+                if (l->dirty)
+                    ++n_dram_write_;
+                l->valid = false;
+            }
+        }
+        if (victim->dirty)
+            ++n_dram_write_;
+    }
+    victim->valid = true;
+    victim->line = line;
+    victim->dirty = dirty;
+    touchL2(*victim);
+    return extra;
+}
+
+Cycle
+MemSim::fillL1(unsigned core, Addr line, bool dirty, bool skip)
+{
+    Cycle extra = 0;
+    const unsigned set =
+        static_cast<unsigned>((line >> line_shift) % cfg_.l1_sets);
+    L1Line *base = &l1_[core][static_cast<std::size_t>(set) * cfg_.l1_ways];
+    L1Line *victim = &base[0];
+    for (unsigned w = 0; w < cfg_.l1_ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    if (victim->valid && victim->dirty) {
+        // Dirty eviction releases to L2 (which turns dirty).
+        extra += fillL2(victim->line, true);
+    }
+    victim->valid = true;
+    victim->line = line;
+    victim->dirty = dirty;
+    victim->skip = cfg_.skip_it && skip;
+    touchL1(core, *victim);
+    return extra;
+}
+
+Cycle
+MemSim::load(unsigned tid, Addr addr)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    const Addr line = lineAlign(addr);
+    Cycle cost = 0;
+
+    if (L1Line *hit = findL1(tid, line)) {
+        touchL1(tid, *hit);
+        cost = cfg_.c_l1_hit;
+        clocks_[tid] += cost;
+        return cost;
+    }
+
+    // Remote dirty copy: cache-to-cache transfer via L2; the remote core
+    // keeps a clean shared copy whose data is now dirty in L2 (skip = 0).
+    bool filled = false;
+    for (unsigned c = 0; c < cfg_.cores && !filled; ++c) {
+        if (c == tid)
+            continue;
+        if (L1Line *r = findL1(c, line)) {
+            if (r->dirty) {
+                r->dirty = false;
+                r->skip = false;
+                fillL2(line, true);
+                cost = cfg_.c_remote_transfer;
+                filled = true;
+            }
+        }
+    }
+
+    if (!filled) {
+        if (findL2(line) != nullptr) {
+            cost = cfg_.c_l2_hit;
+        } else if (cfg_.l3_sets > 0 && l3_.count(line >> line_shift) > 0) {
+            fillL2(line, false);
+            cost = cfg_.c_l3_hit;
+        } else {
+            fillL2(line, false);
+            if (cfg_.l3_sets > 0)
+                l3Insert(line);
+            cost = cfg_.c_mem;
+        }
+    }
+
+    const L2Line *l2 = findL2(line);
+    SKIPIT_ASSERT(l2 != nullptr, "fill did not install into L2");
+    // GrantData vs GrantDataDirty (§6): skip reflects L2 cleanliness.
+    fillL1(tid, line, false, !l2->dirty);
+    clocks_[tid] += cost;
+    return cost;
+}
+
+Cycle
+MemSim::store(unsigned tid, Addr addr)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    const Addr line = lineAlign(addr);
+    Cycle cost = 0;
+
+    // Invalidate every remote copy (MESI upgrade).
+    bool had_remote = false;
+    bool remote_dirty = false;
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        if (c == tid)
+            continue;
+        if (L1Line *r = findL1(c, line)) {
+            had_remote = true;
+            remote_dirty = remote_dirty || r->dirty;
+            r->valid = false;
+        }
+    }
+    if (remote_dirty)
+        fillL2(line, true);
+
+    if (L1Line *hit = findL1(tid, line)) {
+        touchL1(tid, *hit);
+        hit->dirty = true;
+        cost = had_remote ? cfg_.c_remote_transfer : cfg_.c_l1_hit;
+        clocks_[tid] += cost;
+        return cost;
+    }
+
+    if (had_remote) {
+        cost = cfg_.c_remote_transfer;
+        fillL2(line, remote_dirty);
+    } else if (findL2(line) != nullptr) {
+        cost = cfg_.c_l2_hit;
+    } else if (cfg_.l3_sets > 0 && l3_.count(line >> line_shift) > 0) {
+        fillL2(line, false);
+        cost = cfg_.c_l3_hit;
+    } else {
+        fillL2(line, false);
+        if (cfg_.l3_sets > 0)
+            l3Insert(line);
+        cost = cfg_.c_mem;
+    }
+
+    const L2Line *l2 = findL2(line);
+    SKIPIT_ASSERT(l2 != nullptr, "store fill did not install into L2");
+    fillL1(tid, line, true, !l2->dirty);
+    clocks_[tid] += cost;
+    return cost;
+}
+
+Cycle
+MemSim::writeback(unsigned tid, Addr addr, bool invalidate,
+                  WbOutcome *outcome)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    const Addr line = lineAlign(addr);
+    Cycle cost = 0;
+    WbOutcome out;
+
+    L1Line *own = findL1(tid, line);
+
+    // Skip It (§6.1): hit, clean, skip set -> drop before enqueue.
+    if (cfg_.skip_it && own != nullptr && !own->dirty && own->skip) {
+        out = WbOutcome::SkippedL1;
+        cost = cfg_.c_skip_drop;
+        ++n_skip_l1_;
+        if (invalidate) {
+            // Even a dropped CBO.FLUSH... is dropped entirely: the line
+            // stays resident (the drop happens before any action, §6.1).
+        }
+        clocks_[tid] += cost;
+        if (outcome != nullptr)
+            *outcome = out;
+        return cost;
+    }
+
+    ++n_flush_;
+
+    // Gather dirtiness across the hierarchy; apply permission changes.
+    bool dirty_anywhere = false;
+    if (own != nullptr) {
+        dirty_anywhere = dirty_anywhere || own->dirty;
+        if (invalidate) {
+            own->valid = false;
+        } else {
+            own->dirty = false;
+            own->skip = cfg_.skip_it; // persisted once this completes
+        }
+    }
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        if (c == tid)
+            continue;
+        if (L1Line *r = findL1(c, line)) {
+            dirty_anywhere = dirty_anywhere || r->dirty;
+            if (invalidate) {
+                r->valid = false;
+            } else if (r->dirty) {
+                r->dirty = false;
+                r->skip = cfg_.skip_it;
+            }
+        }
+    }
+    if (L2Line *l2 = findL2(line)) {
+        dirty_anywhere = dirty_anywhere || l2->dirty;
+        if (invalidate)
+            l2->valid = false;
+        else
+            l2->dirty = false;
+    }
+
+    if (dirty_anywhere) {
+        out = WbOutcome::Persisted;
+        cost = cfg_.c_flush;
+        if (cfg_.l3_sets > 0)
+            cost += cfg_.c_l3_extra_flush; // one more level to traverse
+        ++n_dram_write_;
+    } else {
+        // The LLC's trivial dirty-bit check (§5.5) spares the DRAM write
+        // but the request still travelled to the L2 and back — and, with
+        // a deeper hierarchy, the redundant request may have to descend
+        // further before the dirty-bit check can kill it.
+        out = WbOutcome::SkippedLlc;
+        cost = cfg_.c_flush_l2_only;
+        if (cfg_.l3_sets > 0)
+            cost += cfg_.c_l3_extra_flush / 2;
+        ++n_skip_llc_;
+    }
+
+    clocks_[tid] += cost;
+    if (outcome != nullptr)
+        *outcome = out;
+    return cost;
+}
+
+void
+MemSim::l3Insert(Addr line)
+{
+    // A coarse set-capacity model: the L3 tracks which lines it holds,
+    // bounded to sets*ways entries with random-ish (hash-order) eviction.
+    const std::size_t cap =
+        static_cast<std::size_t>(cfg_.l3_sets) * cfg_.l3_ways;
+    if (l3_.size() >= cap)
+        l3_.erase(l3_.begin());
+    l3_.insert(line >> line_shift);
+}
+
+Cycle
+MemSim::fence(unsigned tid)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    clocks_[tid] += cfg_.c_fence;
+    return cfg_.c_fence;
+}
+
+Cycle
+MemSim::amo(unsigned tid, Addr addr)
+{
+    const Cycle base = store(tid, addr);
+    std::lock_guard<std::mutex> g(mu_);
+    clocks_[tid] += cfg_.c_amo;
+    return base + cfg_.c_amo;
+}
+
+Cycle
+MemSim::cpuWork(unsigned tid, Cycle n)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    clocks_[tid] += n;
+    return n;
+}
+
+bool
+MemSim::l1Holds(unsigned tid, Addr addr) const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return findL1(tid, lineAlign(addr)) != nullptr;
+}
+
+bool
+MemSim::l1Dirty(unsigned tid, Addr addr) const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    const L1Line *l = findL1(tid, lineAlign(addr));
+    return l != nullptr && l->dirty;
+}
+
+bool
+MemSim::l1Skip(unsigned tid, Addr addr) const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    const L1Line *l = findL1(tid, lineAlign(addr));
+    return l != nullptr && l->skip;
+}
+
+bool
+MemSim::l2Holds(Addr addr) const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return findL2(lineAlign(addr)) != nullptr;
+}
+
+bool
+MemSim::l2Dirty(Addr addr) const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    const L2Line *l = findL2(lineAlign(addr));
+    return l != nullptr && l->dirty;
+}
+
+} // namespace skipit

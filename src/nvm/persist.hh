@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The persistence instrumentation layer for lock-free data structures:
+ * the three persistence algorithms and the four redundant-flush-avoidance
+ * schemes of §7.4, all expressed over MemSim words.
+ *
+ * Persistence modes (how many accesses are instrumented):
+ *  - NonPersistent: no writebacks at all (the figures' dark dotted line).
+ *  - Automatic: every shared read/write is persisted (Izraelevitz-style
+ *    transform [36]): reads ensure the value they saw is persisted,
+ *    writes flush + fence.
+ *  - NvTraverse [27]: traversal reads are plain; only the critical
+ *    (destination) reads and all writes persist.
+ *  - Manual [23]: hand-placed — only linkage writes persist.
+ *
+ * Flush-avoidance policies (how an instrumented access avoids redundant
+ * writebacks):
+ *  - Plain: always issue the writeback.
+ *  - FlitAdjacent [73]: a counter lives next to every word (doubling the
+ *    data footprint; modelled by spreading each 64 B line over 128 B).
+ *    Stores bracket the flush with counter ++/--; loads flush only when
+ *    the counter is non-zero.
+ *  - FlitHashTable [73]: same counters, but in a global table whose
+ *    accesses pollute and contend for the small simulated cache; the
+ *    table size is Fig 16's sensitivity parameter.
+ *  - LinkAndPersist [23]: bit 63 of the word marks "not yet persisted";
+ *    writers set it, flush, then clear; readers seeing the mark help.
+ *    Every access pays a masking charge, and the technique cannot be
+ *    applied to structures that use spare pointer bits (the BST).
+ *  - SkipIt: no software bookkeeping whatsoever — the instrumented access
+ *    simply issues CBO.FLUSH and the hardware skip bit drops redundant
+ *    ones (§6).
+ */
+
+#ifndef SKIPIT_NVM_PERSIST_HH
+#define SKIPIT_NVM_PERSIST_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem_sim.hh"
+
+namespace skipit {
+
+/** Which redundant-writeback avoidance scheme is active. */
+enum class FlushPolicy
+{
+    Plain,
+    FlitAdjacent,
+    FlitHashTable,
+    LinkAndPersist,
+    SkipIt,
+};
+
+/** How much of the algorithm is instrumented for persistence. */
+enum class PersistMode
+{
+    NonPersistent,
+    Automatic,
+    NvTraverse,
+    Manual,
+};
+
+const char *toString(FlushPolicy p);
+const char *toString(PersistMode m);
+
+/** Configuration of one PersistCtx instance. */
+struct PersistConfig
+{
+    FlushPolicy policy = FlushPolicy::Plain;
+    PersistMode mode = PersistMode::Automatic;
+    /** FliT hash table size in entries (Fig 16 sweeps this). */
+    std::size_t flit_table_entries = std::size_t{1} << 16;
+    /** Writebacks use CBO.FLUSH (invalidating), as §7.4 does "to maximize
+     *  the penalty of not identifying a redundant writeback". */
+    bool invalidating = true;
+};
+
+/**
+ * The word-level API the data structures program against. All methods are
+ * thread-safe; `tid` selects the simulated core and clock.
+ */
+class PersistCtx
+{
+  public:
+    PersistCtx(MemSim &mem, const PersistConfig &cfg);
+
+    MemSim &mem() { return mem_; }
+    const PersistConfig &config() const { return cfg_; }
+
+    /**
+     * The machine a policy runs on: only the Skip It policy gets Skip It
+     * hardware; every software technique is evaluated on the baseline
+     * SoC, exactly as §7.4 compares them.
+     */
+    static NvmConfig
+    machineFor(FlushPolicy policy, NvmConfig base = NvmConfig{})
+    {
+        base.skip_it = policy == FlushPolicy::SkipIt;
+        return base;
+    }
+
+    /** Link-and-persist's dirty mark (bit 63, §7.4). */
+    static constexpr std::uint64_t lp_mark = std::uint64_t{1} << 63;
+
+    /// @name Data-structure word operations
+    /// @{
+    /** Traversal read: instrumented only in Automatic mode. */
+    std::uint64_t readTrav(unsigned tid, const std::atomic<std::uint64_t> &w);
+
+    /** Critical read: instrumented in Automatic and NvTraverse modes. */
+    std::uint64_t read(unsigned tid, const std::atomic<std::uint64_t> &w);
+
+    /** Persisted write (linkage update). */
+    void write(unsigned tid, std::atomic<std::uint64_t> &w,
+               std::uint64_t v);
+
+    /**
+     * Persisted compare-and-swap. On failure @p expected is updated to
+     * the (mark-stripped) current value, like std::atomic.
+     */
+    bool cas(unsigned tid, std::atomic<std::uint64_t> &w,
+             std::uint64_t &expected, std::uint64_t desired);
+
+    /** Uninstrumented-but-timed read (node init / immutable fields). */
+    std::uint64_t readPlain(unsigned tid,
+                            const std::atomic<std::uint64_t> &w);
+
+    /** Uninstrumented-but-timed write (pre-publication node init). */
+    void writePlain(unsigned tid, std::atomic<std::uint64_t> &w,
+                    std::uint64_t v);
+
+    /**
+     * Persist a freshly initialized node's words (one flush per distinct
+     * line, no fence — the publishing CAS's fence orders it). Durably
+     * correct insertion requires this before publication: a crash after
+     * the publish but before the node contents reached memory would
+     * otherwise resurrect a node full of zeroes.
+     */
+    void persistInitRange(unsigned tid,
+                          const std::atomic<std::uint64_t> *first,
+                          std::size_t n_words);
+
+    /** End-of-operation persist fence (psync). */
+    void opEnd(unsigned tid);
+    /// @}
+
+    /// @name Crash simulation (shadow NVMM)
+    /// @{
+    /**
+     * Power failure: volatile cache state vanishes and every word this
+     * context ever touched reverts to its last *persisted* value (fresh
+     * NVMM reads as zero). Clocks/stats survive. Single-threaded use.
+     */
+    void crash();
+    /// @}
+
+  private:
+    MemSim &mem_;
+    PersistConfig cfg_;
+
+    /** Functional FliT counters (exact for the table policy; a large
+     *  direct-mapped array with a mixing hash for the adjacent policy —
+     *  collisions are <1% at our footprints and only cause extra
+     *  conservative flushes). */
+    std::vector<std::atomic<std::int32_t>> flit_counters_;
+    std::size_t flit_mask_ = 0;
+
+    static Addr wordAddr(const std::atomic<std::uint64_t> &w);
+    /** FliT-adjacent spreads each line over two (footprint doubling). */
+    Addr dataAddr(Addr a) const;
+    /** Simulated address of the FliT counter guarding @p a. */
+    Addr counterAddr(Addr a) const;
+    std::atomic<std::int32_t> &counter(Addr a);
+
+    bool traversalInstrumented() const
+    {
+        return cfg_.mode == PersistMode::Automatic;
+    }
+    bool criticalReadInstrumented() const
+    {
+        return cfg_.mode == PersistMode::Automatic ||
+               cfg_.mode == PersistMode::NvTraverse;
+    }
+    bool writesInstrumented() const
+    {
+        return cfg_.mode != PersistMode::NonPersistent;
+    }
+
+    /** Shadow NVMM: last persisted value of every registered word. */
+    struct ShadowEntry
+    {
+        std::atomic<std::uint64_t> *word = nullptr;
+        std::uint64_t persisted = 0; //!< fresh NVMM reads as zero
+    };
+    std::unordered_map<Addr, ShadowEntry> shadow_;
+    /** Registered words grouped by (original) line, for O(line) snapshots. */
+    std::unordered_map<Addr, std::vector<Addr>> shadow_lines_;
+    std::mutex shadow_mu_;
+
+    /** Record @p w as NVMM-resident (idempotent). */
+    void registerWord(std::atomic<std::uint64_t> &w);
+    /** Writeback wrapper: flushes and snapshots covered shadow words. */
+    Cycle doWriteback(unsigned tid, Addr orig_addr);
+
+    std::uint64_t readImpl(unsigned tid,
+                           const std::atomic<std::uint64_t> &w,
+                           bool instrumented);
+    /** Persist the value that was just read at @p a, per policy. */
+    void ensureReadPersisted(unsigned tid, Addr a,
+                             const std::atomic<std::uint64_t> &w,
+                             std::uint64_t observed);
+    void persistWrite(unsigned tid, Addr a);
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_NVM_PERSIST_HH

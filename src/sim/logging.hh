@@ -1,0 +1,74 @@
+/**
+ * @file
+ * gem5-style diagnostic helpers.
+ *
+ * panic()  — an internal invariant was violated (a simulator bug); aborts.
+ * fatal()  — the user supplied an impossible configuration; exits cleanly.
+ * warn()   — something is suspicious but simulation can continue.
+ * inform() — purely informational status output.
+ */
+
+#ifndef SKIPIT_SIM_LOGGING_HH
+#define SKIPIT_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace skipit {
+
+namespace detail {
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with a message: something that must never happen, happened. */
+#define SKIPIT_PANIC(...)                                                    \
+    ::skipit::detail::panicImpl(__FILE__, __LINE__,                          \
+                                ::skipit::detail::concat(__VA_ARGS__))
+
+/** Exit with a message: the user's configuration cannot be simulated. */
+#define SKIPIT_FATAL(...)                                                    \
+    ::skipit::detail::fatalImpl(__FILE__, __LINE__,                          \
+                                ::skipit::detail::concat(__VA_ARGS__))
+
+/** Assert a simulator invariant; panics with the message on failure. */
+#define SKIPIT_ASSERT(cond, ...)                                             \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            SKIPIT_PANIC("assertion failed: " #cond " ", __VA_ARGS__);       \
+        }                                                                    \
+    } while (0)
+
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace skipit
+
+#endif // SKIPIT_SIM_LOGGING_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (splitmix64 / xoshiro-style)
+ * so that every simulation run is exactly reproducible from its seed.
+ */
+
+#ifndef SKIPIT_SIM_RANDOM_HH
+#define SKIPIT_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace skipit {
+
+/**
+ * splitmix64: tiny, fast, high-quality 64-bit generator. Used for workload
+ * generation (keys, operation mix) and replacement tie-breaking.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_SIM_RANDOM_HH

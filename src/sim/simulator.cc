@@ -1,0 +1,36 @@
+#include "simulator.hh"
+
+#include "logging.hh"
+
+namespace skipit {
+
+void
+Simulator::step()
+{
+    for (Ticked *c : components_)
+        c->tick();
+    ++now_;
+}
+
+void
+Simulator::run(Cycle n)
+{
+    for (Cycle i = 0; i < n; ++i)
+        step();
+}
+
+Cycle
+Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles)
+{
+    const Cycle limit = now_ + max_cycles;
+    while (!done()) {
+        if (now_ >= limit) {
+            SKIPIT_PANIC("runUntil exceeded ", max_cycles,
+                         " cycles; likely deadlock");
+        }
+        step();
+    }
+    return now_;
+}
+
+} // namespace skipit

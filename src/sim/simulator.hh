@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The cycle-driven simulation kernel.
+ */
+
+#ifndef SKIPIT_SIM_SIMULATOR_HH
+#define SKIPIT_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "ticked.hh"
+#include "types.hh"
+
+namespace skipit {
+
+/**
+ * Owns the global clock and the list of clocked components.
+ *
+ * The simulator does not own the components themselves (they are members
+ * of higher-level structural objects such as SoC); it only sequences them.
+ * Every component is ticked exactly once per cycle in registration order.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    /** Register a component; it will be ticked every cycle from now on. */
+    void add(Ticked &component) { components_.push_back(&component); }
+
+    /** Current simulated cycle (the number of completed cycles). */
+    Cycle now() const { return now_; }
+
+    /** Advance the whole machine by exactly one cycle. */
+    void step();
+
+    /** Advance by @p n cycles. */
+    void run(Cycle n);
+
+    /**
+     * Run until @p done returns true, checking after every cycle.
+     *
+     * @param done      termination predicate
+     * @param max_cycles safety bound; panics if exceeded (deadlock guard)
+     * @return the cycle at which @p done first held
+     */
+    Cycle runUntil(const std::function<bool()> &done,
+                   Cycle max_cycles = 100'000'000);
+
+  private:
+    std::vector<Ticked *> components_;
+    Cycle now_ = 0;
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_SIM_SIMULATOR_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Base class for clocked hardware components.
+ */
+
+#ifndef SKIPIT_SIM_TICKED_HH
+#define SKIPIT_SIM_TICKED_HH
+
+#include <string>
+#include <utility>
+
+#include "types.hh"
+
+namespace skipit {
+
+class Simulator;
+
+/**
+ * A hardware component evaluated once per simulated cycle.
+ *
+ * Components register themselves with a Simulator; the simulator calls
+ * tick() on each registered component every cycle in registration order,
+ * which keeps the model fully deterministic. Cross-component communication
+ * must go through DelayQueue / TimedFifo style structures so that a value
+ * produced in cycle N is consumed no earlier than cycle N+1, mimicking
+ * registered (flip-flop) boundaries between RTL modules.
+ */
+class Ticked
+{
+  public:
+    explicit Ticked(std::string name) : name_(std::move(name)) {}
+    virtual ~Ticked() = default;
+
+    Ticked(const Ticked &) = delete;
+    Ticked &operator=(const Ticked &) = delete;
+
+    /** Advance this component by one clock cycle. */
+    virtual void tick() = 0;
+
+    /** Hierarchical instance name, e.g. "soc.core0.l1d.flushUnit". */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_SIM_TICKED_HH

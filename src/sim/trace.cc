@@ -1,0 +1,105 @@
+#include "trace.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <set>
+
+namespace skipit::trace {
+
+namespace {
+
+struct TraceState
+{
+    std::set<std::string> channels;
+    bool all = false;
+    bool env_loaded = false;
+    std::ostream *stream = nullptr;
+    std::mutex mu;
+
+    void
+    loadEnvOnce()
+    {
+        if (env_loaded)
+            return;
+        env_loaded = true;
+        const char *env = std::getenv("SKIPIT_TRACE");
+        if (env == nullptr)
+            return;
+        std::string spec(env);
+        std::size_t pos = 0;
+        while (pos <= spec.size()) {
+            const std::size_t comma = spec.find(',', pos);
+            const std::string item =
+                spec.substr(pos, comma == std::string::npos
+                                     ? std::string::npos
+                                     : comma - pos);
+            if (item == "all")
+                all = true;
+            else if (!item.empty())
+                channels.insert(item);
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+    }
+};
+
+TraceState &
+state()
+{
+    static TraceState s;
+    return s;
+}
+
+} // namespace
+
+bool
+enabled(const std::string &channel)
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> g(s.mu);
+    s.loadEnvOnce();
+    return s.all || s.channels.count(channel) != 0;
+}
+
+void
+enable(const std::string &channel)
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> g(s.mu);
+    s.env_loaded = true; // explicit config wins over the environment
+    if (channel == "all")
+        s.all = true;
+    else
+        s.channels.insert(channel);
+}
+
+void
+disableAll()
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> g(s.mu);
+    s.env_loaded = true;
+    s.all = false;
+    s.channels.clear();
+}
+
+void
+setStream(std::ostream *os)
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> g(s.mu);
+    s.stream = os;
+}
+
+void
+emit(Cycle cycle, const std::string &channel, const std::string &message)
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> g(s.mu);
+    std::ostream &os = s.stream != nullptr ? *s.stream : std::cerr;
+    os << cycle << ": " << channel << ": " << message << "\n";
+}
+
+} // namespace skipit::trace

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * gem5-DPRINTF-style event tracing.
+ *
+ * Channels are free-form strings ("l1", "l2", "flush", "lsu"). Enable
+ * them programmatically or via the SKIPIT_TRACE environment variable
+ * (comma-separated list, or "all"):
+ *
+ *   SKIPIT_TRACE=flush,l2 ./build/examples/quickstart
+ *
+ * Tracing is off by default and each call sites costs one boolean check
+ * when disabled.
+ */
+
+#ifndef SKIPIT_SIM_TRACE_HH
+#define SKIPIT_SIM_TRACE_HH
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "types.hh"
+
+namespace skipit::trace {
+
+/** Is @p channel currently enabled? */
+bool enabled(const std::string &channel);
+
+/** Enable a channel (or "all") programmatically. */
+void enable(const std::string &channel);
+
+/** Disable every channel (also forgets SKIPIT_TRACE). */
+void disableAll();
+
+/** Redirect trace output (default std::cerr). Pass nullptr to reset. */
+void setStream(std::ostream *os);
+
+/** Emit one pre-formatted line; prefer the SKIPIT_TRACE_LOG macro. */
+void emit(Cycle cycle, const std::string &channel,
+          const std::string &message);
+
+namespace detail {
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace skipit::trace
+
+/** Trace an event on @p channel at @p cycle; arguments are streamed. */
+#define SKIPIT_TRACE_LOG(cycle, channel, ...)                               \
+    do {                                                                    \
+        if (::skipit::trace::enabled(channel)) {                            \
+            ::skipit::trace::emit(                                          \
+                (cycle), (channel),                                         \
+                ::skipit::trace::detail::concat(__VA_ARGS__));              \
+        }                                                                   \
+    } while (0)
+
+#endif // SKIPIT_SIM_TRACE_HH

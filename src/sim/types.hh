@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fundamental scalar types and cache-geometry constants shared by every
+ * subsystem of the simulator.
+ */
+
+#ifndef SKIPIT_SIM_TYPES_HH
+#define SKIPIT_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace skipit {
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Physical byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Identifier of a hardware agent (core / cache / DRAM port). */
+using AgentId = int;
+
+/** Sentinel for "no agent". */
+inline constexpr AgentId invalid_agent = -1;
+
+/** Cache line size used throughout (SonicBOOM uses 64 B lines). */
+inline constexpr unsigned line_bytes = 64;
+
+/** log2(line_bytes). */
+inline constexpr unsigned line_shift = 6;
+
+/** TileLink system-bus beat width in bytes (SonicBOOM: 16 B, Figure 3). */
+inline constexpr unsigned beat_bytes = 16;
+
+/** Number of bus beats needed to move a full cache line. */
+inline constexpr unsigned beats_per_line = line_bytes / beat_bytes;
+
+/** Align an address down to its cache line base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(line_bytes - 1);
+}
+
+/** Byte offset of an address within its cache line. */
+constexpr unsigned
+lineOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (line_bytes - 1));
+}
+
+/** True if both addresses fall in the same cache line. */
+constexpr bool
+sameLine(Addr a, Addr b)
+{
+    return lineAlign(a) == lineAlign(b);
+}
+
+} // namespace skipit
+
+#endif // SKIPIT_SIM_TYPES_HH

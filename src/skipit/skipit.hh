@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Umbrella header: the library's public surface in one include.
+ *
+ *   #include "skipit/skipit.hh"
+ *
+ * pulls in the cycle-level SoC (cores + L1 flush unit + inclusive L2 +
+ * DRAM), the program assembler, the commercial-platform models, the
+ * execution-driven persistence layer with its flush-avoidance policies,
+ * the four lock-free persistent sets, and the workload harnesses.
+ */
+
+#ifndef SKIPIT_SKIPIT_HH
+#define SKIPIT_SKIPIT_HH
+
+// Simulation kernel
+#include "sim/logging.hh"
+#include "sim/queues.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+#include "sim/types.hh"
+
+// Coherence + TileLink
+#include "coherence/state.hh"
+#include "tilelink/link.hh"
+#include "tilelink/messages.hh"
+
+// The machine
+#include "core/asm.hh"
+#include "core/hart.hh"
+#include "core/lsu.hh"
+#include "core/mem_op.hh"
+#include "dram/dram.hh"
+#include "l1/data_cache.hh"
+#include "l2/inclusive_cache.hh"
+#include "soc/soc.hh"
+
+// Comparative platform models (Figures 11-12)
+#include "platform/platform.hh"
+
+// Persistence layer and data structures (Figures 14-16)
+#include "ds/bst.hh"
+#include "ds/hash_table.hh"
+#include "ds/linked_list.hh"
+#include "ds/set_interface.hh"
+#include "ds/skiplist.hh"
+#include "nvm/mem_sim.hh"
+#include "nvm/persist.hh"
+
+// Workload harnesses
+#include "workloads/workloads.hh"
+
+#endif // SKIPIT_SKIPIT_HH

@@ -1,0 +1,112 @@
+#include "soc.hh"
+
+#include <sstream>
+
+namespace skipit {
+
+SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
+{
+    SKIPIT_ASSERT(cfg.cores >= 1 && cfg.cores <= 32,
+                  "core count out of range");
+
+    dram_ = std::make_unique<Dram>("dram", sim_, cfg.dram, stats_);
+    l2_ = std::make_unique<InclusiveCache>("l2", sim_, cfg.l2, *dram_,
+                                           stats_);
+
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        const std::string cn = "core" + std::to_string(c);
+        links_.push_back(std::make_unique<TLLink>(sim_, cfg.link_latency));
+        l2_->connectClient(static_cast<AgentId>(c), *links_.back());
+        l1s_.push_back(std::make_unique<DataCache>(
+            cn + ".l1d", sim_, cfg.l1, static_cast<AgentId>(c),
+            *links_.back(), stats_));
+        lsus_.push_back(std::make_unique<Lsu>(cn + ".lsu", sim_, cfg.lsu,
+                                              *l1s_.back(), stats_));
+        harts_.push_back(std::make_unique<Hart>(cn + ".hart", sim_,
+                                                *lsus_.back(),
+                                                cfg.dispatch_width));
+    }
+
+    // Tick order: memory side first, then caches, then cores. All
+    // cross-component traffic flows through >= 1-cycle queues, so the
+    // order affects nothing but same-cycle wakeups.
+    sim_.add(*dram_);
+    sim_.add(*l2_);
+    for (auto &l1 : l1s_)
+        sim_.add(*l1);
+    for (auto &lsu : lsus_)
+        sim_.add(*lsu);
+    for (auto &hart : harts_)
+        sim_.add(*hart);
+}
+
+std::string
+SoCConfig::describe() const
+{
+    std::ostringstream os;
+    os << "cores: " << cores << "\n"
+       << "l1: " << (l1.sets * l1.ways * line_bytes) / 1024 << " KiB, "
+       << l1.ways << "-way, " << l1.mshrs << " MSHRs, flush queue "
+       << l1.flush_queue_depth << ", " << l1.fshrs << " FSHRs\n"
+       << "l1 features: skip-it " << (l1.skip_it ? "on" : "off")
+       << ", coalesce " << (l1.coalesce ? "on" : "off")
+       << (l1.cross_kind_coalesce ? " (+cross-kind)" : "")
+       << ", wide data array "
+       << (l1.wide_data_array ? "on" : "off") << "\n"
+       << "l2: " << (l2.sets * l2.ways * line_bytes) / 1024 << " KiB, "
+       << l2.ways << "-way, " << l2.mshrs << " MSHRs, llc-skip "
+       << (l2.llc_skip ? "on" : "off") << ", grant-data-dirty "
+       << (l2.grant_data_dirty ? "on" : "off") << "\n"
+       << "dram: read " << dram.latency << ", write-ack "
+       << dram.write_ack_latency << ", issue interval "
+       << dram.issue_interval << "\n"
+       << "link latency: " << link_latency << "\n";
+    return os.str();
+}
+
+Cycle
+SoC::runToCompletion(Cycle max_cycles)
+{
+    const Cycle start = sim_.now();
+    sim_.runUntil(
+        [&] {
+            for (auto &hart : harts_) {
+                if (!hart->done())
+                    return false;
+            }
+            return true;
+        },
+        max_cycles);
+    return sim_.now() - start;
+}
+
+Cycle
+SoC::runToQuiescence(Cycle max_cycles)
+{
+    const Cycle start = sim_.now();
+    sim_.runUntil(
+        [&] {
+            for (auto &hart : harts_) {
+                if (!hart->done())
+                    return false;
+            }
+            for (auto &l1 : l1s_) {
+                if (!l1->quiesced())
+                    return false;
+            }
+            return l2_->idle();
+        },
+        max_cycles);
+    return sim_.now() - start;
+}
+
+void
+SoC::setPrograms(const std::vector<Program> &programs)
+{
+    SKIPIT_ASSERT(programs.size() <= harts_.size(),
+                  "more programs than harts");
+    for (std::size_t i = 0; i < programs.size(); ++i)
+        harts_[i]->setProgram(programs[i]);
+}
+
+} // namespace skipit

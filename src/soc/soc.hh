@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The full simulated machine: N BOOM-style cores (Hart + LSU + L1 data
+ * cache with flush unit) sharing one inclusive L2 over TileLink, backed
+ * by a DRAM model — the paper's experimental platform (§7.1), with core
+ * count parameterized for the 1/2/4/8-thread sweeps.
+ */
+
+#ifndef SKIPIT_SOC_SOC_HH
+#define SKIPIT_SOC_SOC_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hart.hh"
+#include "core/lsu.hh"
+#include "dram/dram.hh"
+#include "l1/data_cache.hh"
+#include "l2/inclusive_cache.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "tilelink/link.hh"
+
+namespace skipit {
+
+/** Whole-machine configuration. */
+struct SoCConfig
+{
+    unsigned cores = 2;   //!< the paper's platform is dual-core (§7.1)
+    L1Config l1{};
+    L2Config l2{};
+    DramConfig dram{};
+    LsuConfig lsu{};
+    Cycle link_latency = 3;
+    unsigned dispatch_width = 2;
+
+    /** Convenience: toggle every Skip-It-related feature at once. */
+    SoCConfig &
+    withSkipIt(bool on)
+    {
+        l1.skip_it = on;
+        l2.grant_data_dirty = on;
+        return *this;
+    }
+
+    /** One-line-per-parameter human-readable description. */
+    std::string describe() const;
+};
+
+/**
+ * Owns and wires all components. Typical use:
+ *
+ *   SoC soc(cfg);
+ *   soc.hart(0).setProgram(p0);
+ *   soc.hart(1).setProgram(p1);
+ *   Cycle t = soc.runToCompletion();
+ */
+class SoC
+{
+  public:
+    explicit SoC(const SoCConfig &cfg);
+
+    Simulator &sim() { return sim_; }
+    Stats &stats() { return stats_; }
+    unsigned cores() const { return cfg_.cores; }
+
+    Hart &hart(unsigned core) { return *harts_.at(core); }
+    Lsu &lsu(unsigned core) { return *lsus_.at(core); }
+    DataCache &l1(unsigned core) { return *l1s_.at(core); }
+    InclusiveCache &l2() { return *l2_; }
+    Dram &dram() { return *dram_; }
+
+    /** Run until every hart's program is done. @return elapsed cycles. */
+    Cycle runToCompletion(Cycle max_cycles = 100'000'000);
+
+    /** Run until the memory system is fully idle as well. */
+    Cycle runToQuiescence(Cycle max_cycles = 100'000'000);
+
+    /** Set the same program on all harts (per-thread copies). */
+    void setPrograms(const std::vector<Program> &programs);
+
+  private:
+    SoCConfig cfg_;
+    Simulator sim_;
+    Stats stats_;
+    std::unique_ptr<Dram> dram_;
+    std::unique_ptr<InclusiveCache> l2_;
+    std::vector<std::unique_ptr<TLLink>> links_;
+    std::vector<std::unique_ptr<DataCache>> l1s_;
+    std::vector<std::unique_ptr<Lsu>> lsus_;
+    std::vector<std::unique_ptr<Hart>> harts_;
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_SOC_SOC_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A point-to-point TileLink between one client agent (an L1 cache) and one
+ * manager agent (the inclusive L2), modelling the five unidirectional
+ * channels A-E with per-channel beat serialization.
+ *
+ * The SonicBOOM system bus moves 16 B per cycle (Figure 3), so a message
+ * carrying a 64 B line occupies its channel for four beats — this is the
+ * "takes four cycles to send the data to L2" cost of the FSHR's
+ * root_release_data state (§5.2).
+ */
+
+#ifndef SKIPIT_TILELINK_LINK_HH
+#define SKIPIT_TILELINK_LINK_HH
+
+#include <algorithm>
+
+#include "messages.hh"
+#include "sim/queues.hh"
+#include "sim/simulator.hh"
+
+namespace skipit {
+
+/**
+ * One unidirectional TileLink channel: a delayed FIFO plus beat-occupancy
+ * accounting. A message with data holds the channel for beats_per_line
+ * cycles; messages without data take one beat.
+ */
+template <typename Msg>
+class TLChannel
+{
+  public:
+    TLChannel(const Simulator &sim, Cycle latency)
+        : sim_(sim), latency_(latency), q_(sim, latency)
+    {
+    }
+
+    /**
+     * Send @p m, occupying the channel for @p beats cycles.
+     * @param extra additional sender-side processing delay, e.g. a
+     *              BankedStore access preceding the response
+     */
+    void
+    send(Msg m, unsigned beats = 1, Cycle extra = 0)
+    {
+        const Cycle start = std::max(sim_.now() + extra, busy_until_);
+        const Cycle arrival = start + latency_ + beats - 1;
+        busy_until_ = start + beats;
+        q_.push(std::move(m), arrival - sim_.now());
+    }
+
+    bool ready() const { return q_.ready(); }
+    const Msg &front() const { return q_.front(); }
+    Msg recv() { return q_.pop(); }
+    bool empty() const { return q_.empty(); }
+    std::size_t inFlight() const { return q_.size(); }
+
+  private:
+    const Simulator &sim_;
+    Cycle latency_;
+    Cycle busy_until_ = 0;
+    DelayQueue<Msg> q_;
+};
+
+/**
+ * The five-channel link. The client end uses sendA/sendC/sendE and
+ * recvB/recvD; the manager end uses sendB/sendD and recvA/recvC/recvE.
+ */
+class TLLink
+{
+  public:
+    /**
+     * @param sim     simulator supplying the clock
+     * @param latency one-way wire latency per channel, in cycles
+     */
+    TLLink(const Simulator &sim, Cycle latency = 1)
+        : a(sim, latency), b(sim, latency), c(sim, latency),
+          d(sim, latency), e(sim, latency)
+    {
+    }
+
+    TLChannel<AMsg> a;
+    TLChannel<BMsg> b;
+    TLChannel<CMsg> c;
+    TLChannel<DMsg> d;
+    TLChannel<EMsg> e;
+
+    /** Beats a C message occupies: data messages move a full line. */
+    static unsigned
+    beatsFor(const CMsg &m)
+    {
+        return m.hasData() ? beats_per_line : 1;
+    }
+
+    /** Beats a D message occupies. */
+    static unsigned
+    beatsFor(const DMsg &m)
+    {
+        return m.hasData() ? beats_per_line : 1;
+    }
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_TILELINK_LINK_HH

@@ -1,0 +1,235 @@
+#include "workloads.hh"
+
+#include <thread>
+#include <vector>
+
+#include "ds/bst.hh"
+#include "ds/hash_table.hh"
+#include "ds/linked_list.hh"
+#include "ds/skiplist.hh"
+#include "sim/random.hh"
+
+namespace skipit::workloads {
+
+Program
+dirtyRegion(Addr base, unsigned lines)
+{
+    Program p;
+    for (unsigned i = 0; i < lines; ++i)
+        p.push_back(MemOp::store(base + static_cast<Addr>(i) * line_bytes,
+                                 i + 1));
+    p.push_back(MemOp::fence());
+    return p;
+}
+
+Program
+writebackRegion(Addr base, unsigned lines, bool flush, unsigned passes)
+{
+    Program p;
+    for (unsigned pass = 0; pass < passes; ++pass) {
+        for (unsigned i = 0; i < lines; ++i) {
+            const Addr a = base + static_cast<Addr>(i) * line_bytes;
+            p.push_back(flush ? MemOp::flush(a) : MemOp::clean(a));
+        }
+    }
+    p.push_back(MemOp::fence());
+    return p;
+}
+
+Cycle
+cboLatency(const SoCConfig &cfg, unsigned threads, std::size_t bytes,
+           bool flush)
+{
+    SoCConfig c = cfg;
+    c.cores = threads;
+    SoC soc(c);
+    const unsigned lines_total =
+        static_cast<unsigned>(bytes / line_bytes);
+    const unsigned per = std::max(1u, lines_total / threads);
+
+    std::vector<Program> dirty, wb;
+    for (unsigned t = 0; t < threads; ++t) {
+        const Addr base = region_base + t * thread_stride;
+        dirty.push_back(dirtyRegion(base, per));
+        wb.push_back(writebackRegion(base, per, flush));
+    }
+    soc.setPrograms(dirty);
+    soc.runToQuiescence();
+    soc.setPrograms(wb);
+    return soc.runToCompletion();
+}
+
+Cycle
+writeWbReadLatency(const SoCConfig &cfg, unsigned threads,
+                   std::size_t bytes, bool flush)
+{
+    SoCConfig c = cfg;
+    c.cores = threads;
+    SoC soc(c);
+    const unsigned lines_total =
+        static_cast<unsigned>(bytes / line_bytes);
+    const unsigned per = std::max(1u, lines_total / threads);
+
+    std::vector<Program> warm, meas;
+    for (unsigned t = 0; t < threads; ++t) {
+        const Addr base = region_base + t * thread_stride;
+        warm.push_back(dirtyRegion(base, per));
+        Program p;
+        for (unsigned i = 0; i < per; ++i) {
+            const Addr a = base + static_cast<Addr>(i) * line_bytes;
+            p.push_back(MemOp::store(a, i + 7));
+            for (int r = 0; r < 10; ++r)
+                p.push_back(flush ? MemOp::flush(a) : MemOp::clean(a));
+            p.push_back(MemOp::fence());
+            p.push_back(MemOp::load(a));
+        }
+        meas.push_back(std::move(p));
+    }
+    soc.setPrograms(warm);
+    soc.runToQuiescence();
+    soc.setPrograms(meas);
+    return soc.runToCompletion();
+}
+
+Cycle
+redundantWbLatency(const SoCConfig &cfg, unsigned threads,
+                   std::size_t bytes, bool flush)
+{
+    SoCConfig c = cfg;
+    c.cores = threads;
+    SoC soc(c);
+    const unsigned lines_total =
+        static_cast<unsigned>(bytes / line_bytes);
+    const unsigned per = std::max(1u, lines_total / threads);
+
+    std::vector<Program> warm, meas;
+    for (unsigned t = 0; t < threads; ++t) {
+        const Addr base = region_base + t * thread_stride;
+        warm.push_back(dirtyRegion(base, per));
+        Program p = dirtyRegion(base, per);
+        Program wb = writebackRegion(base, per, flush, 1 + 10);
+        p.insert(p.end(), wb.begin(), wb.end());
+        meas.push_back(std::move(p));
+    }
+    soc.setPrograms(warm);
+    soc.runToQuiescence();
+    soc.setPrograms(meas);
+    return soc.runToCompletion();
+}
+
+const char *
+name(DsKind k)
+{
+    switch (k) {
+      case DsKind::List:
+        return "linked-list";
+      case DsKind::HashTable:
+        return "hash-table";
+      case DsKind::Bst:
+        return "bst";
+      default:
+        return "skiplist";
+    }
+}
+
+std::uint64_t
+keyRange(DsKind k)
+{
+    switch (k) {
+      case DsKind::List:
+        return 128;
+      case DsKind::HashTable:
+        return 1024;
+      case DsKind::Bst:
+        return 10240; // "BST (10k keys)" (Fig 16)
+      default:
+        return 1024;
+    }
+}
+
+std::unique_ptr<PersistentSet>
+makeSet(DsKind k, PersistCtx &ctx)
+{
+    switch (k) {
+      case DsKind::List:
+        return std::make_unique<LinkedList>(ctx);
+      case DsKind::HashTable:
+        return std::make_unique<HashTable>(ctx, 1024);
+      case DsKind::Bst:
+        return std::make_unique<Bst>(ctx);
+      default:
+        return std::make_unique<SkipList>(ctx);
+    }
+}
+
+bool
+applicable(DsKind k, FlushPolicy p)
+{
+    return !(k == DsKind::Bst && p == FlushPolicy::LinkAndPersist);
+}
+
+ThroughputResult
+runThroughput(DsKind kind, FlushPolicy policy, PersistMode mode,
+              double update_pct, unsigned threads, Cycle budget,
+              std::size_t flit_entries)
+{
+    MemSim mem(PersistCtx::machineFor(policy));
+    PersistConfig pcfg;
+    pcfg.policy = policy;
+    pcfg.mode = mode;
+    pcfg.flit_table_entries = flit_entries;
+    PersistCtx ctx(mem, pcfg);
+    auto set = makeSet(kind, ctx);
+
+    // Prefill to ~50% occupancy; thread 0's clock is re-based afterwards
+    // so setup cost is excluded from the measurement.
+    const std::uint64_t range = keyRange(kind);
+    {
+        Rng rng(7);
+        for (std::uint64_t i = 0; i < range / 2; ++i)
+            set->insert(0, 1 + rng.below(range));
+    }
+    const Cycle start0 = mem.clock(0);
+
+    std::vector<std::uint64_t> ops(threads, 0);
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            Rng rng(100 + t);
+            const Cycle base = mem.clock(t);
+            while (mem.clock(t) - base < budget) {
+                const std::uint64_t key = 1 + rng.below(range);
+                if (rng.uniform() * 100.0 < update_pct) {
+                    if (rng.chance(0.5))
+                        set->insert(t, key);
+                    else
+                        set->remove(t, key);
+                } else {
+                    set->contains(t, key);
+                }
+                ++ops[t];
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    std::uint64_t total_ops = 0;
+    Cycle max_clock = 0;
+    for (unsigned t = 0; t < threads; ++t) {
+        total_ops += ops[t];
+        const Cycle c = t == 0 ? mem.clock(0) - start0 : mem.clock(t);
+        max_clock = std::max(max_clock, c);
+    }
+
+    ThroughputResult r;
+    r.ops = total_ops;
+    r.mops_per_mcycle =
+        static_cast<double>(total_ops) * 1e6 /
+        static_cast<double>(std::max<Cycle>(max_clock, 1));
+    r.flushes = mem.flushesIssued();
+    r.skipped_l1 = mem.flushesSkippedL1();
+    return r;
+}
+
+} // namespace skipit::workloads

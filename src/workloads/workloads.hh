@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Reusable workload builders and measurement harnesses for the paper's
+ * evaluation (§7): region dirty/writeback programs for the cycle model
+ * (Figs 9, 10, 13) and the lock-free data-structure throughput runner for
+ * the execution-driven model (Figs 14-16).
+ *
+ * These are public API: benches, examples and downstream experiments all
+ * drive the simulator through them.
+ */
+
+#ifndef SKIPIT_WORKLOADS_WORKLOADS_HH
+#define SKIPIT_WORKLOADS_WORKLOADS_HH
+
+#include <cstddef>
+#include <memory>
+
+#include "ds/set_interface.hh"
+#include "nvm/persist.hh"
+#include "soc/soc.hh"
+
+namespace skipit::workloads {
+
+/** Base address of benchmark working sets (arbitrary, line-aligned). */
+inline constexpr Addr region_base = 0x10000000;
+
+/** Per-thread region stride: keeps threads in disjoint regions (Fig 9). */
+inline constexpr Addr thread_stride = 0x1000000;
+
+/** Program that dirties @p lines lines starting at @p base, then fences. */
+Program dirtyRegion(Addr base, unsigned lines);
+
+/** Program that writes back a region @p passes times, one trailing fence. */
+Program writebackRegion(Addr base, unsigned lines, bool flush,
+                        unsigned passes = 1);
+
+/**
+ * Fig 9 measurement: per-thread disjoint dirty regions, then each thread
+ * writes its share back sequentially and fences once.
+ * @return cycles of the writeback phase
+ */
+Cycle cboLatency(const SoCConfig &cfg, unsigned threads, std::size_t bytes,
+                 bool flush);
+
+/** Fig 10 measurement: per line, write -> 10x CBO.X -> fence -> read. */
+Cycle writeWbReadLatency(const SoCConfig &cfg, unsigned threads,
+                         std::size_t bytes, bool flush);
+
+/**
+ * Fig 13 measurement: one store pass, one real writeback pass, ten
+ * redundant passes, single trailing fence. Redundant passes pipeline
+ * through the FSHRs, which is where Skip It's early drop pays off.
+ */
+Cycle redundantWbLatency(const SoCConfig &cfg, unsigned threads,
+                         std::size_t bytes, bool flush);
+
+// ---------------------------------------------------------------------
+// Data-structure throughput (Figs 14-16).
+// ---------------------------------------------------------------------
+
+/** Which of the four §7.4 structures to run. */
+enum class DsKind { List, HashTable, Bst, SkipList };
+
+const char *name(DsKind k);
+
+/** Key ranges per structure, following the paper's workloads. */
+std::uint64_t keyRange(DsKind k);
+
+/** Instantiate a structure over @p ctx. */
+std::unique_ptr<PersistentSet> makeSet(DsKind k, PersistCtx &ctx);
+
+/** L&P occupies spare pointer bits the BST already uses (§7.4). */
+bool applicable(DsKind k, FlushPolicy p);
+
+/** Result of one throughput run. */
+struct ThroughputResult
+{
+    double mops_per_mcycle = 0; //!< operations per million sim cycles
+    std::uint64_t ops = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t skipped_l1 = 0;
+};
+
+/**
+ * Run the §7.4 workload: @p threads threads performing a lookup/update
+ * mix over the structure's key range until every thread's simulated
+ * clock passes @p budget cycles. Updates split 50/50 insert/delete.
+ */
+ThroughputResult runThroughput(DsKind kind, FlushPolicy policy,
+                               PersistMode mode, double update_pct,
+                               unsigned threads = 2,
+                               Cycle budget = 400'000,
+                               std::size_t flit_entries = std::size_t{1}
+                                                          << 16);
+
+} // namespace skipit::workloads
+
+#endif // SKIPIT_WORKLOADS_WORKLOADS_HH

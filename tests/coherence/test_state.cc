@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the TileLink permission lattice.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/state.hh"
+
+namespace skipit {
+namespace {
+
+TEST(CoherenceState, ReadWritePermissions)
+{
+    EXPECT_FALSE(canRead(ClientState::Nothing));
+    EXPECT_TRUE(canRead(ClientState::Branch));
+    EXPECT_TRUE(canRead(ClientState::Trunk));
+    EXPECT_FALSE(canWrite(ClientState::Nothing));
+    EXPECT_FALSE(canWrite(ClientState::Branch));
+    EXPECT_TRUE(canWrite(ClientState::Trunk));
+}
+
+TEST(CoherenceState, GrowForReadAndWrite)
+{
+    EXPECT_EQ(growFor(ClientState::Nothing, false), Grow::NtoB);
+    EXPECT_EQ(growFor(ClientState::Nothing, true), Grow::NtoT);
+    EXPECT_EQ(growFor(ClientState::Branch, true), Grow::BtoT);
+}
+
+TEST(CoherenceState, CapMapsToStates)
+{
+    EXPECT_EQ(stateForCap(Cap::toT), ClientState::Trunk);
+    EXPECT_EQ(stateForCap(Cap::toB), ClientState::Branch);
+    EXPECT_EQ(stateForCap(Cap::toN), ClientState::Nothing);
+}
+
+TEST(CoherenceState, CapForGrowRequestsEnoughPermission)
+{
+    EXPECT_EQ(capForGrow(Grow::NtoB), Cap::toB);
+    EXPECT_EQ(capForGrow(Grow::NtoT), Cap::toT);
+    EXPECT_EQ(capForGrow(Grow::BtoT), Cap::toT);
+}
+
+TEST(CoherenceState, CapSatisfiesGrow)
+{
+    EXPECT_TRUE(capSatisfiesGrow(Cap::toT, Grow::NtoB));
+    EXPECT_TRUE(capSatisfiesGrow(Cap::toT, Grow::NtoT));
+    EXPECT_TRUE(capSatisfiesGrow(Cap::toB, Grow::NtoB));
+    EXPECT_FALSE(capSatisfiesGrow(Cap::toB, Grow::NtoT));
+    EXPECT_FALSE(capSatisfiesGrow(Cap::toN, Grow::NtoB));
+}
+
+TEST(CoherenceState, ShrinkForReportsTransitions)
+{
+    EXPECT_EQ(shrinkFor(ClientState::Trunk, ClientState::Branch),
+              Shrink::TtoB);
+    EXPECT_EQ(shrinkFor(ClientState::Trunk, ClientState::Nothing),
+              Shrink::TtoN);
+    EXPECT_EQ(shrinkFor(ClientState::Branch, ClientState::Nothing),
+              Shrink::BtoN);
+    EXPECT_EQ(shrinkFor(ClientState::Trunk, ClientState::Trunk),
+              Shrink::TtoT);
+    EXPECT_EQ(shrinkFor(ClientState::Branch, ClientState::Branch),
+              Shrink::BtoB);
+    EXPECT_EQ(shrinkFor(ClientState::Nothing, ClientState::Nothing),
+              Shrink::NtoN);
+}
+
+TEST(CoherenceState, ApplyCapNeverGrows)
+{
+    EXPECT_EQ(applyCap(ClientState::Trunk, Cap::toB), ClientState::Branch);
+    EXPECT_EQ(applyCap(ClientState::Trunk, Cap::toN), ClientState::Nothing);
+    EXPECT_EQ(applyCap(ClientState::Branch, Cap::toT), ClientState::Branch);
+    EXPECT_EQ(applyCap(ClientState::Nothing, Cap::toB),
+              ClientState::Nothing);
+    EXPECT_EQ(applyCap(ClientState::Branch, Cap::toB), ClientState::Branch);
+}
+
+TEST(CoherenceState, ToStringNames)
+{
+    EXPECT_STREQ(toString(ClientState::Nothing), "Nothing");
+    EXPECT_STREQ(toString(ClientState::Branch), "Branch");
+    EXPECT_STREQ(toString(ClientState::Trunk), "Trunk");
+}
+
+} // namespace
+} // namespace skipit

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Correctness tests of the four lock-free sets: randomized differential
+ * testing against std::set, across every (policy x mode) combination, plus
+ * multi-threaded stress with invariant checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "ds/bst.hh"
+#include "ds/hash_table.hh"
+#include "ds/linked_list.hh"
+#include "ds/skiplist.hh"
+#include "sim/random.hh"
+
+namespace skipit {
+namespace {
+
+enum class DsKind { List, Hash, Bst, Skip };
+
+const char *
+kindName(DsKind k)
+{
+    switch (k) {
+      case DsKind::List:
+        return "list";
+      case DsKind::Hash:
+        return "hash";
+      case DsKind::Bst:
+        return "bst";
+      default:
+        return "skip";
+    }
+}
+
+std::unique_ptr<PersistentSet>
+makeSet(DsKind k, PersistCtx &ctx)
+{
+    switch (k) {
+      case DsKind::List:
+        return std::make_unique<LinkedList>(ctx);
+      case DsKind::Hash:
+        return std::make_unique<HashTable>(ctx, 64);
+      case DsKind::Bst:
+        return std::make_unique<Bst>(ctx);
+      default:
+        return std::make_unique<SkipList>(ctx);
+    }
+}
+
+std::size_t
+sizeSlow(DsKind k, PersistentSet &s)
+{
+    switch (k) {
+      case DsKind::List:
+        return static_cast<LinkedList &>(s).sizeSlow();
+      case DsKind::Hash:
+        return static_cast<HashTable &>(s).sizeSlow();
+      case DsKind::Bst:
+        return static_cast<Bst &>(s).sizeSlow();
+      default:
+        return static_cast<SkipList &>(s).sizeSlow();
+    }
+}
+
+using Combo = std::tuple<DsKind, FlushPolicy, PersistMode>;
+
+std::string
+comboName(const ::testing::TestParamInfo<Combo> &info)
+{
+    const auto [kind, policy, mode] = info.param;
+    std::string s = std::string(kindName(kind)) + "_" + toString(policy) +
+                    "_" + toString(mode);
+    for (char &c : s) {
+        if (c == '-')
+            c = '_';
+    }
+    return s;
+}
+
+class SetCombo : public ::testing::TestWithParam<Combo>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto [kind, policy, mode] = GetParam();
+        // The paper notes link-and-persist cannot be applied to the BST
+        // (it uses spare pointer bits, §7.4); skip that combination.
+        if (kind == DsKind::Bst && policy == FlushPolicy::LinkAndPersist)
+            GTEST_SKIP() << "L&P is not applicable to the BST";
+        mem_ = std::make_unique<MemSim>(PersistCtx::machineFor(policy));
+        PersistConfig pcfg;
+        pcfg.policy = policy;
+        pcfg.mode = mode;
+        pcfg.flit_table_entries = 1 << 12;
+        ctx_ = std::make_unique<PersistCtx>(*mem_, pcfg);
+        set_ = makeSet(kind, *ctx_);
+    }
+
+    std::unique_ptr<MemSim> mem_;
+    std::unique_ptr<PersistCtx> ctx_;
+    std::unique_ptr<PersistentSet> set_;
+};
+
+TEST_P(SetCombo, MatchesReferenceSetUnderRandomOps)
+{
+    const auto kind = std::get<0>(GetParam());
+    std::set<std::uint64_t> ref;
+    Rng rng(42);
+    const std::uint64_t key_range = kind == DsKind::List ? 64 : 512;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t key = 1 + rng.below(key_range);
+        const double dice = rng.uniform();
+        if (dice < 0.4) {
+            EXPECT_EQ(set_->insert(0, key), ref.insert(key).second)
+                << "insert " << key << " at op " << i;
+        } else if (dice < 0.8) {
+            EXPECT_EQ(set_->remove(0, key), ref.erase(key) == 1)
+                << "remove " << key << " at op " << i;
+        } else {
+            EXPECT_EQ(set_->contains(0, key), ref.count(key) == 1)
+                << "contains " << key << " at op " << i;
+        }
+    }
+    EXPECT_EQ(sizeSlow(kind, *set_), ref.size());
+    for (std::uint64_t key = 1; key <= key_range; ++key) {
+        EXPECT_EQ(set_->contains(0, key), ref.count(key) == 1)
+            << "final contains " << key;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SetCombo,
+    ::testing::Combine(
+        ::testing::Values(DsKind::List, DsKind::Hash, DsKind::Bst,
+                          DsKind::Skip),
+        ::testing::Values(FlushPolicy::Plain, FlushPolicy::FlitAdjacent,
+                          FlushPolicy::FlitHashTable,
+                          FlushPolicy::LinkAndPersist, FlushPolicy::SkipIt),
+        ::testing::Values(PersistMode::NonPersistent, PersistMode::Automatic,
+                          PersistMode::NvTraverse, PersistMode::Manual)),
+    comboName);
+
+/** Multi-threaded stress: net size bookkeeping must match the structure. */
+class SetStress : public ::testing::TestWithParam<std::tuple<DsKind,
+                                                             FlushPolicy>>
+{
+};
+
+TEST_P(SetStress, TwoThreadsKeepNetCountConsistent)
+{
+    const auto [kind, policy] = GetParam();
+    if (kind == DsKind::Bst && policy == FlushPolicy::LinkAndPersist)
+        GTEST_SKIP() << "L&P is not applicable to the BST";
+    MemSim mem{PersistCtx::machineFor(policy)};
+    PersistConfig pcfg;
+    pcfg.policy = policy;
+    pcfg.mode = PersistMode::NvTraverse;
+    pcfg.flit_table_entries = 1 << 12;
+    PersistCtx ctx(mem, pcfg);
+    auto set = makeSet(kind, ctx);
+
+    constexpr unsigned threads = 2;
+    constexpr int ops = 4000;
+    std::array<std::int64_t, threads> net{};
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            Rng rng(1000 + t);
+            const std::uint64_t key_range =
+                kind == DsKind::List ? 48 : 256;
+            for (int i = 0; i < ops; ++i) {
+                const std::uint64_t key = 1 + rng.below(key_range);
+                if (rng.chance(0.5)) {
+                    if (set->insert(t, key))
+                        net[t]++;
+                } else {
+                    if (set->remove(t, key))
+                        net[t]--;
+                }
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    const std::int64_t expected = net[0] + net[1];
+    ASSERT_GE(expected, 0);
+    EXPECT_EQ(sizeSlow(kind, *set),
+              static_cast<std::size_t>(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stress, SetStress,
+    ::testing::Combine(
+        ::testing::Values(DsKind::List, DsKind::Hash, DsKind::Bst,
+                          DsKind::Skip),
+        ::testing::Values(FlushPolicy::Plain, FlushPolicy::LinkAndPersist,
+                          FlushPolicy::SkipIt)),
+    [](const ::testing::TestParamInfo<std::tuple<DsKind, FlushPolicy>> &i) {
+        std::string s = std::string(kindName(std::get<0>(i.param))) + "_" +
+                        toString(std::get<1>(i.param));
+        for (char &c : s) {
+            if (c == '-')
+                c = '_';
+        }
+        return s;
+    });
+
+TEST(SetEdge, ListRejectsDuplicateInsert)
+{
+    MemSim mem{NvmConfig{}};
+    PersistCtx ctx(mem, PersistConfig{});
+    LinkedList list(ctx);
+    EXPECT_TRUE(list.insert(0, 10));
+    EXPECT_FALSE(list.insert(0, 10));
+    EXPECT_TRUE(list.contains(0, 10));
+    EXPECT_TRUE(list.remove(0, 10));
+    EXPECT_FALSE(list.remove(0, 10));
+    EXPECT_FALSE(list.contains(0, 10));
+}
+
+TEST(SetEdge, BoundaryKeysWork)
+{
+    MemSim mem{NvmConfig{}};
+    PersistCtx ctx(mem, PersistConfig{});
+    Bst bst(ctx);
+    EXPECT_TRUE(bst.insert(0, 1));
+    EXPECT_TRUE(bst.insert(0, max_user_key));
+    EXPECT_TRUE(bst.contains(0, 1));
+    EXPECT_TRUE(bst.contains(0, max_user_key));
+    EXPECT_TRUE(bst.remove(0, 1));
+    EXPECT_TRUE(bst.remove(0, max_user_key));
+    EXPECT_EQ(bst.sizeSlow(), 0u);
+}
+
+TEST(SetEdge, SkiplistAscendingAndDescendingInserts)
+{
+    MemSim mem{NvmConfig{}};
+    PersistCtx ctx(mem, PersistConfig{});
+    SkipList sl(ctx);
+    for (std::uint64_t k = 1; k <= 100; ++k)
+        EXPECT_TRUE(sl.insert(0, k));
+    for (std::uint64_t k = 200; k > 100; --k)
+        EXPECT_TRUE(sl.insert(0, k));
+    EXPECT_EQ(sl.sizeSlow(), 200u);
+    for (std::uint64_t k = 1; k <= 200; ++k)
+        EXPECT_TRUE(sl.contains(0, k));
+}
+
+} // namespace
+} // namespace skipit

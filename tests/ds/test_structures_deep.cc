@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Structure-specific tests beyond the differential suite: hash-table
+ * bucket behaviour, skiplist tower determinism, BST shape and helping
+ * paths, list ordering, and sustained churn.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "ds/bst.hh"
+#include "ds/hash_table.hh"
+#include "ds/linked_list.hh"
+#include "ds/skiplist.hh"
+#include "sim/random.hh"
+
+namespace skipit {
+namespace {
+
+struct Rig
+{
+    MemSim mem{NvmConfig{}};
+    PersistCtx ctx{mem, PersistConfig{}};
+};
+
+TEST(LinkedListDeep, AscendingDescendingAndInterleavedInserts)
+{
+    Rig r;
+    LinkedList l(r.ctx);
+    for (std::uint64_t k = 1; k <= 40; k += 2)
+        EXPECT_TRUE(l.insert(0, k)); // odds ascending
+    for (std::uint64_t k = 40; k >= 2; k -= 2)
+        EXPECT_TRUE(l.insert(0, k)); // evens descending
+    EXPECT_EQ(l.sizeSlow(), 40u);
+    for (std::uint64_t k = 1; k <= 40; ++k)
+        EXPECT_TRUE(l.contains(0, k)) << k;
+    EXPECT_FALSE(l.contains(0, 41));
+}
+
+TEST(LinkedListDeep, RemoveHeadMiddleTail)
+{
+    Rig r;
+    LinkedList l(r.ctx);
+    for (std::uint64_t k : {10, 20, 30})
+        l.insert(0, k);
+    EXPECT_TRUE(l.remove(0, 10)); // head
+    EXPECT_TRUE(l.remove(0, 30)); // tail
+    EXPECT_TRUE(l.remove(0, 20)); // last
+    EXPECT_EQ(l.sizeSlow(), 0u);
+    EXPECT_TRUE(l.insert(0, 20)); // reusable after emptying
+}
+
+TEST(LinkedListDeep, ChurnOnSingleKey)
+{
+    Rig r;
+    LinkedList l(r.ctx);
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_TRUE(l.insert(0, 7));
+        EXPECT_TRUE(l.remove(0, 7));
+    }
+    EXPECT_EQ(l.sizeSlow(), 0u);
+}
+
+TEST(HashTableDeep, KeysSpreadAcrossBuckets)
+{
+    Rig r;
+    HashTable h(r.ctx, 16);
+    for (std::uint64_t k = 1; k <= 256; ++k)
+        ASSERT_TRUE(h.insert(0, k));
+    EXPECT_EQ(h.sizeSlow(), 256u);
+    // With a mixing hash, any decent spread puts multiple keys in every
+    // bucket; verify via removal of every key (exercises all buckets).
+    for (std::uint64_t k = 1; k <= 256; ++k)
+        EXPECT_TRUE(h.remove(0, k)) << k;
+    EXPECT_EQ(h.sizeSlow(), 0u);
+}
+
+TEST(HashTableDeep, SingleBucketDegradesToList)
+{
+    Rig r;
+    HashTable h(r.ctx, 1); // all keys collide
+    for (std::uint64_t k = 1; k <= 64; ++k)
+        ASSERT_TRUE(h.insert(0, k));
+    for (std::uint64_t k = 1; k <= 64; ++k)
+        EXPECT_TRUE(h.contains(0, k));
+    EXPECT_EQ(h.sizeSlow(), 64u);
+}
+
+TEST(SkipListDeep, TowerHeightsAreDeterministicPerKey)
+{
+    // levelFor is hash-derived: the same key always gets the same tower,
+    // so runs are reproducible. Verify indirectly: two separately built
+    // skiplists over the same keys behave identically for a probe set.
+    Rig r1, r2;
+    SkipList a(r1.ctx), b(r2.ctx);
+    Rng rng(3);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 300; ++i)
+        keys.push_back(1 + rng.below(5000));
+    for (std::uint64_t k : keys) {
+        EXPECT_EQ(a.insert(0, k), b.insert(0, k)) << k;
+    }
+    EXPECT_EQ(a.sizeSlow(), b.sizeSlow());
+}
+
+TEST(SkipListDeep, LargePopulationStaysSearchable)
+{
+    Rig r;
+    SkipList s(r.ctx);
+    std::set<std::uint64_t> ref;
+    Rng rng(11);
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t k = 1 + rng.below(100000);
+        EXPECT_EQ(s.insert(0, k), ref.insert(k).second);
+    }
+    EXPECT_EQ(s.sizeSlow(), ref.size());
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t k = 1 + rng.below(100000);
+        EXPECT_EQ(s.contains(0, k), ref.count(k) == 1) << k;
+    }
+}
+
+TEST(BstDeep, DegenerateAscendingInsertStillCorrect)
+{
+    Rig r;
+    Bst t(r.ctx);
+    // External BSTs do not rebalance; an ascending insert builds the
+    // worst-case spine but must stay correct.
+    for (std::uint64_t k = 1; k <= 200; ++k)
+        ASSERT_TRUE(t.insert(0, k));
+    EXPECT_EQ(t.sizeSlow(), 200u);
+    for (std::uint64_t k = 1; k <= 200; ++k)
+        EXPECT_TRUE(t.contains(0, k));
+    // Remove every other, then verify the survivors.
+    for (std::uint64_t k = 1; k <= 200; k += 2)
+        EXPECT_TRUE(t.remove(0, k));
+    for (std::uint64_t k = 1; k <= 200; ++k)
+        EXPECT_EQ(t.contains(0, k), k % 2 == 0) << k;
+}
+
+TEST(BstDeep, RemoveDownToEmptyAndRebuild)
+{
+    Rig r;
+    Bst t(r.ctx);
+    for (std::uint64_t k : {50, 25, 75, 10, 30, 60, 90})
+        ASSERT_TRUE(t.insert(0, k));
+    for (std::uint64_t k : {50, 25, 75, 10, 30, 60, 90})
+        EXPECT_TRUE(t.remove(0, k)) << k;
+    EXPECT_EQ(t.sizeSlow(), 0u);
+    for (std::uint64_t k : {1, 2, 3})
+        EXPECT_TRUE(t.insert(0, k));
+    EXPECT_EQ(t.sizeSlow(), 3u);
+}
+
+TEST(BstDeep, RemoveRootKeyRepeatedly)
+{
+    Rig r;
+    Bst t(r.ctx);
+    // The first inserted key sits right under the sentinels; deleting it
+    // exercises the ancestor == S cleanup path.
+    for (int round = 0; round < 50; ++round) {
+        ASSERT_TRUE(t.insert(0, 42));
+        ASSERT_TRUE(t.remove(0, 42));
+    }
+    EXPECT_EQ(t.sizeSlow(), 0u);
+}
+
+TEST(StressDeep, FourThreadsOnFourCoreMachine)
+{
+    NvmConfig cfg;
+    cfg.cores = 4;
+    MemSim mem(cfg);
+    PersistConfig pcfg;
+    pcfg.mode = PersistMode::NvTraverse;
+    PersistCtx ctx(mem, pcfg);
+    SkipList s(ctx);
+
+    constexpr unsigned threads = 4;
+    std::array<std::int64_t, threads> net{};
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            Rng rng(500 + t);
+            for (int i = 0; i < 2500; ++i) {
+                const std::uint64_t key = 1 + rng.below(400);
+                if (rng.chance(0.5)) {
+                    if (s.insert(t, key))
+                        net[t]++;
+                } else {
+                    if (s.remove(t, key))
+                        net[t]--;
+                }
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    std::int64_t expected = 0;
+    for (auto n : net)
+        expected += n;
+    ASSERT_GE(expected, 0);
+    EXPECT_EQ(s.sizeSlow(), static_cast<std::size_t>(expected));
+}
+
+TEST(StressDeep, MixedStructuresShareOneMemSim)
+{
+    // Two different structures over the same memory model: their cache
+    // footprints interact but correctness is independent.
+    Rig r;
+    LinkedList l(r.ctx);
+    Bst t(r.ctx);
+    Rng rng(9);
+    std::set<std::uint64_t> lref, tref;
+    for (int i = 0; i < 1500; ++i) {
+        const std::uint64_t k = 1 + rng.below(300);
+        if (rng.chance(0.5)) {
+            EXPECT_EQ(l.insert(0, k), lref.insert(k).second);
+        } else {
+            EXPECT_EQ(t.insert(0, k), tref.insert(k).second);
+        }
+    }
+    EXPECT_EQ(l.sizeSlow(), lref.size());
+    EXPECT_EQ(t.sizeSlow(), tref.size());
+}
+
+} // namespace
+} // namespace skipit

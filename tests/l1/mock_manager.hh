@@ -1,0 +1,140 @@
+/**
+ * @file
+ * A scriptable TileLink manager standing in for the L2, so the L1 data
+ * cache and its flush unit can be unit-tested in isolation: it records
+ * every C-channel message it sees, serves Acquires with configurable
+ * grant types, acknowledges Releases and RootReleases with configurable
+ * delays, and can inject Probes.
+ */
+
+#ifndef SKIPIT_TESTS_L1_MOCK_MANAGER_HH
+#define SKIPIT_TESTS_L1_MOCK_MANAGER_HH
+
+#include <deque>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/ticked.hh"
+#include "tilelink/link.hh"
+
+namespace skipit {
+
+/** Mock manager (L2) end of a TileLink. */
+class MockManager : public Ticked
+{
+  public:
+    MockManager(Simulator &sim, TLLink &link)
+        : Ticked("mock_l2"), sim_(sim), link_(link)
+    {
+    }
+
+    /// @name Behaviour knobs
+    /// @{
+    /** Grant type for Acquires: GrantData or GrantDataDirty. */
+    DOp grant_op = DOp::GrantData;
+    /** Extra delay before acknowledging RootReleases. */
+    Cycle rootrelease_ack_delay = 5;
+    /** When true, RootReleases are held and not acknowledged until
+     *  releaseHeldAcks() is called. */
+    bool hold_rootrelease_acks = false;
+    /// @}
+
+    /// @name Observed traffic
+    /// @{
+    std::vector<AMsg> acquires;
+    std::vector<CMsg> c_messages; //!< everything seen on channel C
+    /// @}
+
+    /** All RootRelease messages seen so far. */
+    std::vector<CMsg>
+    rootReleases() const
+    {
+        std::vector<CMsg> out;
+        for (const CMsg &m : c_messages) {
+            if (m.isRootRelease())
+                out.push_back(m);
+        }
+        return out;
+    }
+
+    /** Inject a probe towards the client. */
+    void
+    probe(Addr line, Cap cap)
+    {
+        BMsg msg;
+        msg.addr = lineAlign(line);
+        msg.param = cap;
+        link_.b.send(msg);
+    }
+
+    /** Acknowledge all RootReleases held back by hold_rootrelease_acks. */
+    void
+    releaseHeldAcks()
+    {
+        for (const CMsg &m : held_) {
+            DMsg ack;
+            ack.op = DOp::RootReleaseAck;
+            ack.addr = m.addr;
+            ack.dest = m.source;
+            link_.d.send(ack, 1, rootrelease_ack_delay);
+        }
+        held_.clear();
+    }
+
+    std::size_t heldAcks() const { return held_.size(); }
+
+    void
+    tick() override
+    {
+        while (link_.a.ready()) {
+            const AMsg msg = link_.a.recv();
+            acquires.push_back(msg);
+            DMsg grant;
+            grant.op = grant_op;
+            grant.addr = msg.addr;
+            grant.cap = capForGrow(msg.param);
+            grant.data = fill_data;
+            grant.dest = msg.source;
+            link_.d.send(grant, TLLink::beatsFor(grant), grant_delay);
+        }
+        while (link_.c.ready()) {
+            const CMsg msg = link_.c.recv();
+            c_messages.push_back(msg);
+            if (msg.isRootRelease()) {
+                if (hold_rootrelease_acks) {
+                    held_.push_back(msg);
+                } else {
+                    DMsg ack;
+                    ack.op = DOp::RootReleaseAck;
+                    ack.addr = msg.addr;
+                    ack.dest = msg.source;
+                    link_.d.send(ack, 1, rootrelease_ack_delay);
+                }
+            } else if (msg.op == COp::Release ||
+                       msg.op == COp::ReleaseData) {
+                DMsg ack;
+                ack.op = DOp::ReleaseAck;
+                ack.addr = msg.addr;
+                ack.dest = msg.source;
+                link_.d.send(ack);
+            }
+            // ProbeAck[Data] only gets recorded.
+        }
+        while (link_.e.ready())
+            link_.e.recv(); // GrantAcks are consumed silently
+    }
+
+    /** Data served with every grant. */
+    LineData fill_data{};
+    /** Extra delay before grants. */
+    Cycle grant_delay = 3;
+
+  private:
+    Simulator &sim_;
+    TLLink &link_;
+    std::deque<CMsg> held_;
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_TESTS_L1_MOCK_MANAGER_HH

@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Unit tests of the L1 data cache's flush unit against a scriptable mock
+ * L2: FSHR execution plans (Figure 7), queue capacity nacks, coalescing,
+ * load forwarding from FSHR buffers, store-nack rules, probe_invalidate,
+ * the flush counter, and the Skip It early drop (§5.2, §5.3, §6).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "l1/data_cache.hh"
+#include "mock_manager.hh"
+
+namespace skipit {
+namespace {
+
+class FlushUnitTest : public ::testing::Test
+{
+  protected:
+    // Owned via pointer so build() can recreate the whole rig (the
+    // simulator keeps raw component pointers).
+    std::unique_ptr<Simulator> sim_owner = std::make_unique<Simulator>();
+    Simulator &sim = *sim_owner;
+    Stats stats;
+    L1Config cfg{};
+    std::unique_ptr<TLLink> link;
+    std::unique_ptr<DataCache> dc;
+    std::unique_ptr<MockManager> l2;
+    std::uint64_t next_id = 1;
+
+    void
+    build()
+    {
+        link = std::make_unique<TLLink>(sim, 1);
+        dc.reset();
+        l2.reset();
+        dc = std::make_unique<DataCache>("l1d", sim, cfg, 0, *link, stats);
+        l2 = std::make_unique<MockManager>(sim, *link);
+        sim.add(*dc);
+        sim.add(*l2);
+    }
+
+    /** Submit a request and wait for its (non-nack) response. */
+    CpuResp
+    doOp(CpuOpKind kind, Addr addr, std::uint64_t data = 0,
+         bool allow_nack = false)
+    {
+        CpuReq req;
+        req.kind = kind;
+        req.addr = addr;
+        req.data = data;
+        req.id = next_id++;
+        dc->submit(req);
+        CpuResp resp;
+        sim.runUntil([&] {
+            while (dc->respReady()) {
+                resp = dc->popResp();
+                if (resp.id == req.id)
+                    return true;
+            }
+            return false;
+        });
+        if (!allow_nack) {
+            EXPECT_FALSE(resp.nack) << "unexpected nack";
+        }
+        return resp;
+    }
+
+    /** Submit and retry through nacks until success. */
+    void
+    doOpRetry(CpuOpKind kind, Addr addr, std::uint64_t data = 0)
+    {
+        for (int attempt = 0; attempt < 100; ++attempt) {
+            const CpuResp r = doOp(kind, addr, data, true);
+            if (!r.nack)
+                return;
+            sim.run(4);
+        }
+        FAIL() << "operation nacked forever";
+    }
+
+    void
+    quiesce()
+    {
+        sim.runUntil([&] { return dc->quiesced(); });
+    }
+
+    /** Store and wait for the fill: the store response arrives when the
+     *  MSHR buffers it (§3.3), before the line is actually resident. */
+    void
+    doStore(Addr addr, std::uint64_t value)
+    {
+        doOpRetry(CpuOpKind::Store, addr, value);
+        sim.runUntil([&] { return dc->lineDirty(addr); });
+    }
+
+    /** Issue a CBO, retrying through MSHR-conflict nacks. */
+    void
+    doCbo(CpuOpKind kind, Addr addr)
+    {
+        doOpRetry(kind, addr);
+    }
+};
+
+TEST_F(FlushUnitTest, DirtyFlushSendsRootReleaseDataAndInvalidates)
+{
+    build();
+    doStore(0x1000, 42);
+    ASSERT_EQ(dc->lineState(0x1000), ClientState::Trunk);
+    ASSERT_TRUE(dc->lineDirty(0x1000));
+
+    doOp(CpuOpKind::CboFlush, 0x1000);
+    quiesce();
+
+    const auto rrs = l2->rootReleases();
+    ASSERT_EQ(rrs.size(), 1u);
+    EXPECT_EQ(rrs[0].op, COp::RootReleaseData);
+    EXPECT_EQ(rrs[0].cbo, CboKind::Flush);
+    EXPECT_EQ(rrs[0].param, Shrink::TtoN);
+    std::uint64_t sent = 0;
+    std::memcpy(&sent, rrs[0].data.data(), 8);
+    EXPECT_EQ(sent, 42u);
+    EXPECT_EQ(dc->lineState(0x1000), ClientState::Nothing);
+}
+
+TEST_F(FlushUnitTest, DirtyCleanKeepsLineAndReportsTtoT)
+{
+    build();
+    doStore(0x2000, 7);
+    doOp(CpuOpKind::CboClean, 0x2000);
+    quiesce();
+
+    const auto rrs = l2->rootReleases();
+    ASSERT_EQ(rrs.size(), 1u);
+    EXPECT_EQ(rrs[0].op, COp::RootReleaseData);
+    EXPECT_EQ(rrs[0].cbo, CboKind::Clean);
+    EXPECT_EQ(rrs[0].param, Shrink::TtoT);
+    EXPECT_EQ(dc->lineState(0x2000), ClientState::Trunk);
+    EXPECT_FALSE(dc->lineDirty(0x2000));
+}
+
+TEST_F(FlushUnitTest, MissedCboStillSendsBareRootRelease)
+{
+    build();
+    doOp(CpuOpKind::CboFlush, 0x3000);
+    quiesce();
+    const auto rrs = l2->rootReleases();
+    ASSERT_EQ(rrs.size(), 1u);
+    EXPECT_EQ(rrs[0].op, COp::RootRelease);
+    EXPECT_EQ(rrs[0].param, Shrink::NtoN);
+}
+
+TEST_F(FlushUnitTest, CleanHitOnCleanLineSkipsMetaWrite)
+{
+    cfg.skip_it = false; // otherwise the skip bit would drop it entirely
+    build();
+    doOpRetry(CpuOpKind::Load, 0x4000);
+    ASSERT_NE(dc->lineState(0x4000), ClientState::Nothing);
+    doOp(CpuOpKind::CboClean, 0x4000);
+    quiesce();
+    const auto rrs = l2->rootReleases();
+    ASSERT_EQ(rrs.size(), 1u);
+    EXPECT_EQ(rrs[0].op, COp::RootRelease); // no data: line was clean
+    // Line retained with unchanged permissions.
+    EXPECT_NE(dc->lineState(0x4000), ClientState::Nothing);
+}
+
+TEST_F(FlushUnitTest, FlushCounterTracksLifetime)
+{
+    build();
+    l2->hold_rootrelease_acks = true;
+    doStore(0x5000, 1);
+    EXPECT_FALSE(dc->flushing());
+    doOp(CpuOpKind::CboFlush, 0x5000);
+    EXPECT_TRUE(dc->flushing()); // counted at enqueue
+    sim.runUntil([&] { return l2->heldAcks() == 1; });
+    EXPECT_TRUE(dc->flushing()); // still pending until the ack
+    l2->releaseHeldAcks();
+    quiesce();
+    EXPECT_FALSE(dc->flushing());
+}
+
+TEST_F(FlushUnitTest, QueueFullNacksFurtherCbos)
+{
+    cfg.flush_queue_depth = 2;
+    cfg.fshrs = 2;
+    build();
+    l2->hold_rootrelease_acks = true;
+    // 2 FSHRs + 2 queue slots absorb 4 CBOs; the 5th must nack.
+    for (int i = 0; i < 4; ++i)
+        doOp(CpuOpKind::CboFlush, 0x6000 + i * line_bytes);
+    const CpuResp r =
+        doOp(CpuOpKind::CboFlush, 0x6000 + 4 * line_bytes, 0, true);
+    EXPECT_TRUE(r.nack);
+    EXPECT_GE(stats.get("l1.0.flushq_full"), 1u);
+    l2->releaseHeldAcks();
+    // Held entries keep draining into FSHRs; release until all done.
+    sim.runUntil([&] {
+        l2->releaseHeldAcks();
+        return !dc->flushing();
+    });
+}
+
+TEST_F(FlushUnitTest, SameKindCboCoalesces)
+{
+    build();
+    l2->hold_rootrelease_acks = true;
+    // Saturate all 8 FSHRs so the 9th CBO stays queued.
+    for (int i = 0; i < 8; ++i)
+        doOp(CpuOpKind::CboFlush, 0x7000 + i * line_bytes);
+    doOp(CpuOpKind::CboFlush, 0x8000); // queued behind busy FSHRs
+    doOp(CpuOpKind::CboFlush, 0x8000); // coalesces with the queued one
+    EXPECT_EQ(stats.get("l1.0.cbo_coalesced"), 1u);
+    sim.runUntil([&] {
+        l2->releaseHeldAcks();
+        return !dc->flushing();
+    });
+    // Only 9 RootReleases went out for 10 accepted CBOs.
+    EXPECT_EQ(l2->rootReleases().size(), 9u);
+}
+
+TEST_F(FlushUnitTest, DifferentKindCboNacks)
+{
+    build();
+    l2->hold_rootrelease_acks = true;
+    doOp(CpuOpKind::CboClean, 0x9000);
+    const CpuResp r = doOp(CpuOpKind::CboFlush, 0x9000, 0, true);
+    EXPECT_TRUE(r.nack);
+    sim.runUntil([&] {
+        l2->releaseHeldAcks();
+        return !dc->flushing();
+    });
+}
+
+TEST_F(FlushUnitTest, LoadForwardsFromFilledFshrBuffer)
+{
+    build();
+    l2->hold_rootrelease_acks = true;
+    doStore(0xa000, 1234);
+    doOp(CpuOpKind::CboFlush, 0xa000);
+    // Wait until the FSHR invalidated the line and filled its buffer.
+    sim.runUntil([&] { return l2->heldAcks() == 1; });
+    ASSERT_EQ(dc->lineState(0xa000), ClientState::Nothing);
+    // A load now misses but forwards from the FSHR's data buffer without
+    // a new Acquire (§5.3).
+    const std::size_t acquires_before = l2->acquires.size();
+    const CpuResp r = doOp(CpuOpKind::Load, 0xa000);
+    EXPECT_EQ(r.data, 1234u);
+    EXPECT_EQ(l2->acquires.size(), acquires_before);
+    EXPECT_GE(stats.get("l1.0.fshr_forwards"), 1u);
+    l2->releaseHeldAcks();
+    quiesce();
+}
+
+TEST_F(FlushUnitTest, StoreNackedUnderPendingFlush)
+{
+    build();
+    l2->hold_rootrelease_acks = true;
+    doStore(0xb000, 1);
+    doOp(CpuOpKind::CboFlush, 0xb000);
+    sim.runUntil([&] { return l2->heldAcks() == 1; });
+    const CpuResp r = doOp(CpuOpKind::Store, 0xb000, 2, true);
+    EXPECT_TRUE(r.nack);
+    l2->releaseHeldAcks();
+    quiesce();
+}
+
+TEST_F(FlushUnitTest, StoreAllowedUnderCleanWithFilledBuffer)
+{
+    build();
+    l2->hold_rootrelease_acks = true;
+    doStore(0xc000, 1);
+    doOp(CpuOpKind::CboClean, 0xc000);
+    sim.runUntil([&] { return l2->heldAcks() == 1; });
+    // The FSHR has captured the pre-store data; the store may proceed
+    // without waiting for the ack (§5.3).
+    const CpuResp r = doOp(CpuOpKind::Store, 0xc000, 2, true);
+    EXPECT_FALSE(r.nack);
+    EXPECT_TRUE(dc->lineDirty(0xc000));
+    // The writeback that eventually completes carries the OLD data.
+    const auto rrs = l2->rootReleases();
+    ASSERT_EQ(rrs.size(), 1u);
+    std::uint64_t sent = 0;
+    std::memcpy(&sent, rrs[0].data.data(), 8);
+    EXPECT_EQ(sent, 1u);
+    l2->releaseHeldAcks();
+    quiesce();
+}
+
+TEST_F(FlushUnitTest, ProbeInvalidatesQueuedEntry)
+{
+    build();
+    l2->hold_rootrelease_acks = true;
+    // Saturate FSHRs so the interesting CBO stays queued.
+    for (int i = 0; i < 8; ++i)
+        doOp(CpuOpKind::CboFlush, 0xd000 + i * line_bytes);
+    doStore(0xe000, 5);
+    doOp(CpuOpKind::CboFlush, 0xe000); // queued with hit+dirty snapshot
+    // A probe revokes the line while the request is still queued (§5.4.1).
+    l2->probe(0xe000, Cap::toN);
+    sim.runUntil([&] { return dc->lineState(0xe000) ==
+                              ClientState::Nothing; });
+    // Drain everything; the queued entry must have been downgraded to a
+    // miss and sent as a bare RootRelease rather than reading stale meta.
+    sim.runUntil([&] {
+        l2->releaseHeldAcks();
+        return !dc->flushing();
+    });
+    const auto rrs = l2->rootReleases();
+    ASSERT_EQ(rrs.size(), 9u);
+    const CMsg &last = rrs.back();
+    EXPECT_EQ(last.addr, lineAlign(Addr{0xe000}));
+    EXPECT_EQ(last.op, COp::RootRelease); // no data: probe took it
+}
+
+TEST_F(FlushUnitTest, SkipItDropsRedundantCleanAfterAck)
+{
+    cfg.skip_it = true;
+    build();
+    doStore(0xf000, 9);
+    doOp(CpuOpKind::CboClean, 0xf000);
+    quiesce();
+    EXPECT_TRUE(dc->lineSkip(0xf000)); // set on the clean's ack
+    doOp(CpuOpKind::CboClean, 0xf000);
+    quiesce();
+    EXPECT_EQ(stats.get("l1.0.skipit_dropped"), 1u);
+    EXPECT_EQ(l2->rootReleases().size(), 1u); // the redundant one died
+}
+
+TEST_F(FlushUnitTest, GrantDataDirtyClearsSkipBit)
+{
+    cfg.skip_it = true;
+    build();
+    l2->grant_op = DOp::GrantDataDirty;
+    doOpRetry(CpuOpKind::Load, 0x10000);
+    EXPECT_FALSE(dc->lineSkip(0x10000));
+    // A writeback to this line must NOT be dropped: L2 holds dirty data.
+    doOp(CpuOpKind::CboClean, 0x10000);
+    quiesce();
+    EXPECT_EQ(stats.get("l1.0.skipit_dropped"), 0u);
+    EXPECT_EQ(l2->rootReleases().size(), 1u);
+}
+
+TEST_F(FlushUnitTest, GrantDataSetsSkipBitAndDropsCbo)
+{
+    cfg.skip_it = true;
+    build();
+    l2->grant_op = DOp::GrantData;
+    doOpRetry(CpuOpKind::Load, 0x11000);
+    EXPECT_TRUE(dc->lineSkip(0x11000));
+    doOp(CpuOpKind::CboFlush, 0x11000);
+    quiesce();
+    EXPECT_EQ(stats.get("l1.0.skipit_dropped"), 1u);
+    EXPECT_TRUE(l2->rootReleases().empty());
+    // The dropped CBO.FLUSH leaves the line resident (§6.1).
+    EXPECT_NE(dc->lineState(0x11000), ClientState::Nothing);
+}
+
+TEST_F(FlushUnitTest, SkipItDisabledNeverDrops)
+{
+    cfg.skip_it = false;
+    build();
+    doOpRetry(CpuOpKind::Load, 0x12000);
+    EXPECT_FALSE(dc->lineSkip(0x12000));
+    doOp(CpuOpKind::CboClean, 0x12000);
+    doOp(CpuOpKind::CboClean, 0x12000); // may nack or coalesce, never drop
+    quiesce();
+    EXPECT_EQ(stats.get("l1.0.skipit_dropped"), 0u);
+}
+
+TEST_F(FlushUnitTest, ProbeWithDirtyDataRespondsProbeAckData)
+{
+    build();
+    doStore(0x13000, 77);
+    l2->probe(0x13000, Cap::toN);
+    sim.runUntil([&] { return !l2->c_messages.empty(); });
+    quiesce();
+    bool saw_ack_data = false;
+    for (const CMsg &m : l2->c_messages) {
+        if (m.op == COp::ProbeAckData) {
+            saw_ack_data = true;
+            EXPECT_EQ(m.param, Shrink::TtoN);
+            std::uint64_t v = 0;
+            std::memcpy(&v, m.data.data(), 8);
+            EXPECT_EQ(v, 77u);
+        }
+    }
+    EXPECT_TRUE(saw_ack_data);
+    EXPECT_EQ(dc->lineState(0x13000), ClientState::Nothing);
+}
+
+TEST_F(FlushUnitTest, ProbeToMissingLineAcksNtoN)
+{
+    build();
+    l2->probe(0x14000, Cap::toN);
+    sim.runUntil([&] { return !l2->c_messages.empty(); });
+    EXPECT_EQ(l2->c_messages[0].op, COp::ProbeAck);
+    EXPECT_EQ(l2->c_messages[0].param, Shrink::NtoN);
+}
+
+TEST_F(FlushUnitTest, NarrowDataArraySlowsBufferFill)
+{
+    // Measure the full store+flush round trip with each array width in
+    // its own rig; the narrow array needs 8 cycles for FillBuffer where
+    // the widened one needs 1 (§5.2).
+    auto roundTrip = [](bool wide) {
+        Simulator sim;
+        Stats stats;
+        L1Config cfg;
+        cfg.wide_data_array = wide;
+        TLLink link(sim, 1);
+        DataCache dc("l1d", sim, cfg, 0, link, stats);
+        MockManager l2(sim, link);
+        sim.add(dc);
+        sim.add(l2);
+
+        auto waitResp = [&](std::uint64_t id) {
+            CpuResp resp;
+            sim.runUntil([&] {
+                while (dc.respReady()) {
+                    resp = dc.popResp();
+                    if (resp.id == id)
+                        return true;
+                }
+                return false;
+            });
+            return resp;
+        };
+        std::uint64_t id = 1;
+        for (int attempt = 0; attempt < 100; ++attempt) {
+            dc.submit(CpuReq{CpuOpKind::Store, 0x15000, 8, 1, id});
+            if (!waitResp(id++).nack)
+                break;
+            sim.run(4);
+        }
+        sim.runUntil([&] { return dc.lineDirty(0x15000); });
+        for (int attempt = 0; attempt < 100; ++attempt) {
+            dc.submit(CpuReq{CpuOpKind::CboFlush, 0x15000, 0, 0, id});
+            if (!waitResp(id++).nack)
+                break;
+            sim.run(4);
+        }
+        const Cycle t0 = sim.now();
+        sim.runUntil([&] { return dc.quiesced(); });
+        return sim.now() - t0;
+    };
+
+    const Cycle wide = roundTrip(true);
+    const Cycle narrow = roundTrip(false);
+    EXPECT_GT(narrow, wide);
+    EXPECT_EQ(narrow - wide, line_bytes / 8 - 1);
+}
+
+} // namespace
+} // namespace skipit

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Exhaustive L1 state-transition table: every reachable line state
+ * (Nothing, Branch, Trunk-clean, Trunk-dirty) crossed with every
+ * operation (load, store, the four CMOs, and both probe flavours),
+ * checking the resulting state and the message the L2 observes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "l1/data_cache.hh"
+#include "mock_manager.hh"
+
+namespace skipit {
+namespace {
+
+enum class LineCase { Nothing, Branch, TrunkClean, TrunkDirty };
+enum class Op { Load, Store, Clean, Flush, Inval, Zero, ProbeB, ProbeN };
+
+const char *
+caseName(LineCase c)
+{
+    switch (c) {
+      case LineCase::Nothing:
+        return "Nothing";
+      case LineCase::Branch:
+        return "Branch";
+      case LineCase::TrunkClean:
+        return "TrunkClean";
+      default:
+        return "TrunkDirty";
+    }
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Load:
+        return "load";
+      case Op::Store:
+        return "store";
+      case Op::Clean:
+        return "clean";
+      case Op::Flush:
+        return "flush";
+      case Op::Inval:
+        return "inval";
+      case Op::Zero:
+        return "zero";
+      case Op::ProbeB:
+        return "probe_toB";
+      default:
+        return "probe_toN";
+    }
+}
+
+class TransitionRig
+{
+  public:
+    TransitionRig()
+    {
+        cfg_.skip_it = false; // drops are tested elsewhere
+        link_ = std::make_unique<TLLink>(sim_, 1);
+        dc_ = std::make_unique<DataCache>("l1d", sim_, cfg_, 0, *link_,
+                                          stats_);
+        l2_ = std::make_unique<MockManager>(sim_, *link_);
+        sim_.add(*dc_);
+        sim_.add(*l2_);
+    }
+
+    static constexpr Addr line = 0x4000;
+
+    void
+    establish(LineCase c)
+    {
+        switch (c) {
+          case LineCase::Nothing:
+            return;
+          case LineCase::Branch:
+            opRetry(CpuOpKind::Load); // mock grants NtoB -> toB
+            ASSERT_EQ(dc_->lineState(line), ClientState::Branch);
+            return;
+          case LineCase::TrunkClean:
+            opRetry(CpuOpKind::Store, 1);
+            wait([&] { return dc_->lineDirty(line); });
+            opRetry(CpuOpKind::CboClean);
+            wait([&] { return dc_->quiesced(); });
+            ASSERT_EQ(dc_->lineState(line), ClientState::Trunk);
+            ASSERT_FALSE(dc_->lineDirty(line));
+            l2_->c_messages.clear(); // setup traffic is not under test
+            return;
+          case LineCase::TrunkDirty:
+            opRetry(CpuOpKind::Store, 1);
+            wait([&] { return dc_->lineDirty(line); });
+            return;
+        }
+    }
+
+    /** Apply the op, drain to quiescence, return observed traffic. */
+    void
+    apply(Op op)
+    {
+        switch (op) {
+          case Op::Load:
+            opRetry(CpuOpKind::Load);
+            break;
+          case Op::Store:
+            opRetry(CpuOpKind::Store, 2);
+            break;
+          case Op::Clean:
+            opRetry(CpuOpKind::CboClean);
+            break;
+          case Op::Flush:
+            opRetry(CpuOpKind::CboFlush);
+            break;
+          case Op::Inval:
+            opRetry(CpuOpKind::CboInval);
+            break;
+          case Op::Zero:
+            opRetry(CpuOpKind::CboZero);
+            break;
+          case Op::ProbeB:
+            l2_->probe(line, Cap::toB);
+            break;
+          case Op::ProbeN:
+            l2_->probe(line, Cap::toN);
+            break;
+        }
+        wait([&] { return dc_->quiesced(); });
+        if (op == Op::ProbeB || op == Op::ProbeN) {
+            wait([&] {
+                for (const CMsg &m : l2_->c_messages) {
+                    if (m.op == COp::ProbeAck ||
+                        m.op == COp::ProbeAckData) {
+                        return true;
+                    }
+                }
+                return false;
+            });
+        }
+    }
+
+    ClientState state() const { return dc_->lineState(line); }
+    bool dirty() const { return dc_->lineDirty(line); }
+
+    /** Did a RootRelease / ProbeAck with data leave the cache? */
+    bool
+    sentData() const
+    {
+        for (const CMsg &m : l2_->c_messages) {
+            if (m.addr == line && m.hasData())
+                return true;
+        }
+        return false;
+    }
+
+    std::vector<CMsg> traffic() const { return l2_->c_messages; }
+
+  private:
+    Simulator sim_;
+    Stats stats_;
+    L1Config cfg_{};
+    std::unique_ptr<TLLink> link_;
+    std::unique_ptr<DataCache> dc_;
+    std::unique_ptr<MockManager> l2_;
+    std::uint64_t next_id_ = 1;
+
+    template <typename Pred>
+    void
+    wait(Pred pred)
+    {
+        sim_.runUntil(pred, 1'000'000);
+    }
+
+    void
+    opRetry(CpuOpKind kind, std::uint64_t data = 0)
+    {
+        for (int attempt = 0; attempt < 200; ++attempt) {
+            CpuReq req;
+            req.kind = kind;
+            req.addr = line;
+            req.data = data;
+            req.id = next_id_++;
+            dc_->submit(req);
+            CpuResp resp;
+            sim_.runUntil([&] {
+                while (dc_->respReady()) {
+                    resp = dc_->popResp();
+                    if (resp.id == req.id)
+                        return true;
+                }
+                return false;
+            });
+            if (!resp.nack)
+                return;
+            sim_.run(4);
+        }
+        FAIL() << "op nacked forever";
+    }
+};
+
+struct Expect
+{
+    ClientState state;
+    bool dirty;
+    bool data_sent;
+};
+
+Expect
+expected(LineCase c, Op op)
+{
+    const bool was_dirty = c == LineCase::TrunkDirty;
+    switch (op) {
+      case Op::Load:
+        // Nothing -> Branch via grant; every other state is preserved.
+        if (c == LineCase::Nothing)
+            return {ClientState::Branch, false, false};
+        return {c == LineCase::Branch ? ClientState::Branch
+                                      : ClientState::Trunk,
+                was_dirty, false};
+      case Op::Store:
+      case Op::Zero:
+        return {ClientState::Trunk, true, false};
+      case Op::Clean:
+        // Keeps the line, clears dirt; only dirty data travels.
+        if (c == LineCase::Nothing)
+            return {ClientState::Nothing, false, false};
+        return {c == LineCase::Branch ? ClientState::Branch
+                                      : ClientState::Trunk,
+                false, was_dirty};
+      case Op::Flush:
+        return {ClientState::Nothing, false, was_dirty};
+      case Op::Inval:
+        // Invalidates but never writes back, even when dirty.
+        return {ClientState::Nothing, false, false};
+      case Op::ProbeB:
+        // Caps to Branch; dirty data is surrendered.
+        if (c == LineCase::Nothing)
+            return {ClientState::Nothing, false, false};
+        return {ClientState::Branch, false, was_dirty};
+      default: // ProbeN
+        return {ClientState::Nothing, false, was_dirty};
+    }
+}
+
+TEST(L1Transitions, ExhaustiveStateByOperationTable)
+{
+    for (const LineCase c :
+         {LineCase::Nothing, LineCase::Branch, LineCase::TrunkClean,
+          LineCase::TrunkDirty}) {
+        for (const Op op : {Op::Load, Op::Store, Op::Clean, Op::Flush,
+                            Op::Inval, Op::Zero, Op::ProbeB, Op::ProbeN}) {
+            SCOPED_TRACE(std::string(caseName(c)) + " x " + opName(op));
+            TransitionRig rig;
+            rig.establish(c);
+            if (::testing::Test::HasFatalFailure())
+                return;
+            rig.apply(op);
+            const Expect e = expected(c, op);
+            EXPECT_EQ(rig.state(), e.state);
+            EXPECT_EQ(rig.dirty(), e.dirty);
+            EXPECT_EQ(rig.sentData(), e.data_sent);
+        }
+    }
+}
+
+} // namespace
+} // namespace skipit

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Exact cycle-charge regression tests for the persistence policies: the
+ * relative costs in Figures 14-16 follow directly from these sequences,
+ * so they are pinned here operation by operation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvm/persist.hh"
+
+namespace skipit {
+namespace {
+
+struct ChargeRig
+{
+    NvmConfig mcfg;
+    MemSim mem;
+    PersistCtx ctx;
+    std::atomic<std::uint64_t> word{0};
+
+    ChargeRig(FlushPolicy p, PersistMode m)
+        : mcfg(PersistCtx::machineFor(p)), mem(mcfg),
+          ctx(mem, PersistConfig{p, m, std::size_t{1} << 12, true})
+    {
+    }
+
+    Cycle
+    cost(const std::function<void()> &op)
+    {
+        const Cycle before = mem.clock(0);
+        op();
+        return mem.clock(0) - before;
+    }
+};
+
+TEST(Charges, PlainAutomaticWriteIsStorePlusFlushPlusFence)
+{
+    ChargeRig r(FlushPolicy::Plain, PersistMode::Automatic);
+    r.ctx.readPlain(0, r.word); // warm the line (c_mem)
+    const NvmConfig &c = r.mem.config();
+    // store (L1 hit) + invalidating flush (dirty -> full) + fence.
+    EXPECT_EQ(r.cost([&] { r.ctx.write(0, r.word, 1); }),
+              c.c_l1_hit + c.c_flush + c.c_fence);
+}
+
+TEST(Charges, PlainAutomaticReadRefetchesAfterInvalidatingFlush)
+{
+    ChargeRig r(FlushPolicy::Plain, PersistMode::Automatic);
+    r.ctx.readPlain(0, r.word);
+    r.ctx.write(0, r.word, 1); // line invalidated by its flush
+    const NvmConfig &c = r.mem.config();
+    // L2 miss too (flush invalidated both) -> memory refetch, then the
+    // read-persist flush finds everything clean: LLC catches it.
+    EXPECT_EQ(r.cost([&] { r.ctx.read(0, r.word); }),
+              c.c_mem + c.c_flush_l2_only + c.c_fence);
+}
+
+TEST(Charges, SkipItRedundantReadCostsDropPlusFence)
+{
+    ChargeRig r(FlushPolicy::SkipIt, PersistMode::Automatic);
+    r.ctx.read(0, r.word); // first read: fill + LLC-caught flush
+    const NvmConfig &c = r.mem.config();
+    // Steady state: L1 hit + skip drop + empty fence.
+    EXPECT_EQ(r.cost([&] { r.ctx.read(0, r.word); }),
+              c.c_l1_hit + c.c_skip_drop + c.c_fence);
+}
+
+TEST(Charges, FlitStoreBracketsWithTwoAmos)
+{
+    ChargeRig r(FlushPolicy::FlitHashTable, PersistMode::Manual);
+    r.ctx.readPlain(0, r.word);
+    r.ctx.write(0, r.word, 1); // warms the counter line too
+    const NvmConfig &c = r.mem.config();
+    // Steady state: the line was invalidated by the previous flush, so:
+    // counter AMO (L1 hit + premium) + store (refetch from memory since
+    // the flush invalidated L1+L2) + flush (dirty) + fence + counter AMO.
+    const Cycle amo = c.c_l1_hit + c.c_amo;
+    EXPECT_EQ(r.cost([&] { r.ctx.write(0, r.word, 2); }),
+              amo + c.c_mem + c.c_flush + c.c_fence + amo);
+}
+
+TEST(Charges, FlitReadWithIdleCounterIsTwoLoads)
+{
+    ChargeRig r(FlushPolicy::FlitHashTable, PersistMode::Automatic);
+    r.ctx.read(0, r.word); // warms data + counter lines
+    const NvmConfig &c = r.mem.config();
+    // Steady state: data load hit + counter load hit, no flush.
+    EXPECT_EQ(r.cost([&] { r.ctx.read(0, r.word); }), 2u * c.c_l1_hit);
+}
+
+TEST(Charges, LinkAndPersistReadAddsMaskCycle)
+{
+    ChargeRig r(FlushPolicy::LinkAndPersist, PersistMode::Automatic);
+    r.ctx.read(0, r.word);
+    const NvmConfig &c = r.mem.config();
+    // Steady state: load hit + mandatory bit-63 mask (1 cycle); the word
+    // is unmarked, so no helping flush.
+    EXPECT_EQ(r.cost([&] { r.ctx.read(0, r.word); }), c.c_l1_hit + 1u);
+}
+
+TEST(Charges, NonPersistentOpsAreJustMemoryAccesses)
+{
+    ChargeRig r(FlushPolicy::Plain, PersistMode::NonPersistent);
+    r.ctx.readPlain(0, r.word);
+    const NvmConfig &c = r.mem.config();
+    EXPECT_EQ(r.cost([&] { r.ctx.write(0, r.word, 1); }), c.c_l1_hit);
+    EXPECT_EQ(r.cost([&] { r.ctx.read(0, r.word); }), c.c_l1_hit);
+    EXPECT_EQ(r.cost([&] { r.ctx.opEnd(0); }), 0u);
+}
+
+TEST(Charges, SkipItWriteStillPaysTheFullWriteback)
+{
+    ChargeRig r(FlushPolicy::SkipIt, PersistMode::Manual);
+    r.ctx.readPlain(0, r.word);
+    const NvmConfig &c = r.mem.config();
+    // Dirty data cannot be skipped: store + full flush + fence.
+    EXPECT_EQ(r.cost([&] { r.ctx.write(0, r.word, 1); }),
+              c.c_l1_hit + c.c_flush + c.c_fence);
+}
+
+} // namespace
+} // namespace skipit

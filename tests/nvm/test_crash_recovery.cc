@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Durable-linearizability crash tests for the persistent sets: run
+ * operations (each ending in a persist fence), power-fail between two
+ * operations, restore only the *persisted* state, and require the
+ * structure to match the reference exactly — across every structure,
+ * persistence mode and flush-avoidance policy.
+ *
+ * This is the end-to-end property the paper's instructions exist to
+ * provide (§1: "correct persistent algorithms are extremely challenging
+ * ... without fine-grained control of the cache contents").
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "ds/bst.hh"
+#include "ds/hash_table.hh"
+#include "ds/linked_list.hh"
+#include "ds/skiplist.hh"
+#include "sim/random.hh"
+
+namespace skipit {
+namespace {
+
+enum class DsKind { List, Hash, Bst, Skip };
+
+std::unique_ptr<PersistentSet>
+makeSet(DsKind k, PersistCtx &ctx)
+{
+    switch (k) {
+      case DsKind::List:
+        return std::make_unique<LinkedList>(ctx);
+      case DsKind::Hash:
+        return std::make_unique<HashTable>(ctx, 32);
+      case DsKind::Bst:
+        return std::make_unique<Bst>(ctx);
+      default:
+        return std::make_unique<SkipList>(ctx);
+    }
+}
+
+std::size_t
+sizeSlow(DsKind k, PersistentSet &s)
+{
+    switch (k) {
+      case DsKind::List:
+        return static_cast<LinkedList &>(s).sizeSlow();
+      case DsKind::Hash:
+        return static_cast<HashTable &>(s).sizeSlow();
+      case DsKind::Bst:
+        return static_cast<Bst &>(s).sizeSlow();
+      default:
+        return static_cast<SkipList &>(s).sizeSlow();
+    }
+}
+
+const char *
+kindName(DsKind k)
+{
+    switch (k) {
+      case DsKind::List:
+        return "list";
+      case DsKind::Hash:
+        return "hash";
+      case DsKind::Bst:
+        return "bst";
+      default:
+        return "skip";
+    }
+}
+
+using Combo = std::tuple<DsKind, FlushPolicy, PersistMode>;
+
+std::string
+comboName(const ::testing::TestParamInfo<Combo> &info)
+{
+    const auto [kind, policy, mode] = info.param;
+    std::string s = std::string(kindName(kind)) + "_" + toString(policy) +
+                    "_" + toString(mode);
+    for (char &c : s) {
+        if (c == '-')
+            c = '_';
+    }
+    return s;
+}
+
+class CrashRecovery : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(CrashRecovery, StateAfterCrashMatchesCompletedOperations)
+{
+    const auto [kind, policy, mode] = GetParam();
+    if (kind == DsKind::Bst && policy == FlushPolicy::LinkAndPersist)
+        GTEST_SKIP() << "L&P is not applicable to the BST";
+
+    // Crash after several different numbers of completed operations.
+    for (const int crash_after : {3, 17, 60, 150}) {
+        MemSim mem(PersistCtx::machineFor(policy));
+        PersistConfig pcfg;
+        pcfg.policy = policy;
+        pcfg.mode = mode;
+        pcfg.flit_table_entries = 1 << 12;
+        PersistCtx ctx(mem, pcfg);
+        auto set = makeSet(kind, ctx);
+
+        std::set<std::uint64_t> ref;
+        Rng rng(99 + static_cast<std::uint64_t>(crash_after));
+        const std::uint64_t range = kind == DsKind::List ? 48 : 200;
+        for (int i = 0; i < crash_after; ++i) {
+            const std::uint64_t key = 1 + rng.below(range);
+            if (rng.chance(0.6)) {
+                EXPECT_EQ(set->insert(0, key), ref.insert(key).second);
+            } else {
+                EXPECT_EQ(set->remove(0, key), ref.erase(key) == 1);
+            }
+        }
+
+        // Power failure between operations: every completed op ended
+        // with a persist fence, so the recovered state must match the
+        // reference exactly.
+        ctx.crash();
+
+        EXPECT_EQ(sizeSlow(kind, *set), ref.size())
+            << kindName(kind) << "/" << toString(policy) << "/"
+            << toString(mode) << " crash_after=" << crash_after;
+        for (std::uint64_t key = 1; key <= range; ++key) {
+            EXPECT_EQ(set->contains(0, key), ref.count(key) == 1)
+                << kindName(kind) << "/" << toString(policy) << "/"
+                << toString(mode) << " key " << key << " crash_after="
+                << crash_after;
+        }
+
+        // The structure must remain fully usable after recovery.
+        const std::uint64_t fresh = range + 1;
+        EXPECT_TRUE(set->insert(0, fresh));
+        EXPECT_TRUE(set->contains(0, fresh));
+        EXPECT_TRUE(set->remove(0, fresh));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPersistentCombos, CrashRecovery,
+    ::testing::Combine(
+        ::testing::Values(DsKind::List, DsKind::Hash, DsKind::Bst,
+                          DsKind::Skip),
+        ::testing::Values(FlushPolicy::Plain, FlushPolicy::FlitAdjacent,
+                          FlushPolicy::FlitHashTable,
+                          FlushPolicy::LinkAndPersist, FlushPolicy::SkipIt),
+        ::testing::Values(PersistMode::Automatic, PersistMode::NvTraverse,
+                          PersistMode::Manual)),
+    comboName);
+
+TEST(CrashRecoveryNegative, NonPersistentModeLosesDataOnCrash)
+{
+    // Sanity-check the harness: without any writebacks, a crash must be
+    // able to lose inserted keys (otherwise the positive test is vacuous).
+    MemSim mem(PersistCtx::machineFor(FlushPolicy::Plain));
+    PersistConfig pcfg;
+    pcfg.policy = FlushPolicy::Plain;
+    pcfg.mode = PersistMode::NonPersistent;
+    PersistCtx ctx(mem, pcfg);
+    LinkedList list(ctx);
+    for (std::uint64_t k = 1; k <= 20; ++k)
+        ASSERT_TRUE(list.insert(0, k));
+    ctx.crash();
+    std::size_t surviving = 0;
+    for (std::uint64_t k = 1; k <= 20; ++k) {
+        if (list.contains(0, k))
+            ++surviving;
+    }
+    EXPECT_LT(surviving, 20u) << "nothing was lost without writebacks; "
+                                 "the crash harness is too weak";
+}
+
+} // namespace
+} // namespace skipit

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests of the execution-driven memory model: hit/miss costs, skip
+ * bit lifecycle, coherence between the two simulated cores, capacity
+ * eviction and writeback outcomes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvm/mem_sim.hh"
+
+namespace skipit {
+namespace {
+
+class MemSimTest : public ::testing::Test
+{
+  protected:
+    NvmConfig cfg{};
+
+    std::unique_ptr<MemSim> make() { return std::make_unique<MemSim>(cfg); }
+};
+
+TEST_F(MemSimTest, ColdLoadCostsMemThenHits)
+{
+    auto m = make();
+    EXPECT_EQ(m->load(0, 0x1000), cfg.c_mem);
+    EXPECT_EQ(m->load(0, 0x1000), cfg.c_l1_hit);
+    EXPECT_EQ(m->load(0, 0x1008), cfg.c_l1_hit); // same line
+    EXPECT_TRUE(m->l1Holds(0, 0x1000));
+    EXPECT_TRUE(m->l2Holds(0x1000));
+}
+
+TEST_F(MemSimTest, StoreMakesLineDirtyAndClearsNothing)
+{
+    auto m = make();
+    m->store(0, 0x2000);
+    EXPECT_TRUE(m->l1Dirty(0, 0x2000));
+    EXPECT_FALSE(m->l2Dirty(0x2000));
+}
+
+TEST_F(MemSimTest, CleanLineFilledFromMemoryHasSkipSet)
+{
+    auto m = make();
+    m->load(0, 0x3000);
+    // Fresh from DRAM: nothing below is dirty, skip bit set (§6).
+    EXPECT_TRUE(m->l1Skip(0, 0x3000));
+}
+
+TEST_F(MemSimTest, LineDirtyInL2GrantsWithoutSkip)
+{
+    auto m = make();
+    // Core 0 dirties, core 1 loads (dirty moves to L2), core 0 re-loads.
+    m->store(0, 0x4000);
+    m->load(1, 0x4000);
+    EXPECT_TRUE(m->l2Dirty(0x4000));
+    // Core 1's fill observed a dirty L2: GrantDataDirty -> no skip.
+    EXPECT_FALSE(m->l1Skip(1, 0x4000));
+}
+
+TEST_F(MemSimTest, RemoteDirtyLoadPaysTransferCost)
+{
+    auto m = make();
+    m->store(0, 0x5000);
+    EXPECT_EQ(m->load(1, 0x5000), cfg.c_remote_transfer);
+}
+
+TEST_F(MemSimTest, RemoteCopyInvalidatedByStore)
+{
+    auto m = make();
+    m->load(0, 0x6000);
+    m->store(1, 0x6000);
+    EXPECT_FALSE(m->l1Holds(0, 0x6000));
+    EXPECT_TRUE(m->l1Dirty(1, 0x6000));
+}
+
+TEST_F(MemSimTest, WritebackOfDirtyLinePersists)
+{
+    auto m = make();
+    m->store(0, 0x7000);
+    WbOutcome out;
+    EXPECT_EQ(m->writeback(0, 0x7000, false, &out), cfg.c_flush);
+    EXPECT_EQ(out, WbOutcome::Persisted);
+    EXPECT_FALSE(m->l1Dirty(0, 0x7000));
+    EXPECT_TRUE(m->l1Holds(0, 0x7000)); // clean keeps the line
+}
+
+TEST_F(MemSimTest, InvalidatingWritebackRemovesLine)
+{
+    auto m = make();
+    m->store(0, 0x7100);
+    m->writeback(0, 0x7100, true);
+    EXPECT_FALSE(m->l1Holds(0, 0x7100));
+    EXPECT_FALSE(m->l2Holds(0x7100));
+}
+
+TEST_F(MemSimTest, CleanWritebackSetsSkipBit)
+{
+    auto m = make();
+    m->store(0, 0x7200);
+    m->writeback(0, 0x7200, false);
+    EXPECT_TRUE(m->l1Skip(0, 0x7200));
+}
+
+TEST_F(MemSimTest, RedundantWritebackDroppedBySkipBit)
+{
+    auto m = make();
+    m->store(0, 0x7300);
+    m->writeback(0, 0x7300, false);
+    WbOutcome out;
+    EXPECT_EQ(m->writeback(0, 0x7300, false, &out), cfg.c_skip_drop);
+    EXPECT_EQ(out, WbOutcome::SkippedL1);
+    EXPECT_EQ(m->flushesSkippedL1(), 1u);
+}
+
+TEST_F(MemSimTest, SkipItDisabledNeverDropsInL1)
+{
+    cfg.skip_it = false;
+    auto m = make();
+    m->store(0, 0x7400);
+    m->writeback(0, 0x7400, false);
+    WbOutcome out;
+    // Second writeback: clean everywhere, so the LLC catches it, but it
+    // still travels to the L2 (§5.5).
+    EXPECT_EQ(m->writeback(0, 0x7400, false, &out), cfg.c_flush_l2_only);
+    EXPECT_EQ(out, WbOutcome::SkippedLlc);
+    EXPECT_EQ(m->flushesSkippedL1(), 0u);
+}
+
+TEST_F(MemSimTest, WritebackOfRemoteDirtyLinePersists)
+{
+    auto m = make();
+    m->store(0, 0x7500);
+    WbOutcome out;
+    // Core 1 flushes a line dirty only in core 0's L1 (§5.5 probing).
+    m->writeback(1, 0x7500, true, &out);
+    EXPECT_EQ(out, WbOutcome::Persisted);
+    EXPECT_FALSE(m->l1Holds(0, 0x7500));
+}
+
+TEST_F(MemSimTest, WritebackOfUnknownLineCaughtAtLlc)
+{
+    auto m = make();
+    WbOutcome out;
+    m->writeback(0, 0x7600, true, &out);
+    EXPECT_EQ(out, WbOutcome::SkippedLlc);
+}
+
+TEST_F(MemSimTest, L1CapacityEvictionMovesDirtyToL2)
+{
+    auto m = make();
+    // Fill one L1 set (ways + 1 lines mapping to the same set).
+    const Addr stride = static_cast<Addr>(cfg.l1_sets) * line_bytes;
+    for (unsigned i = 0; i <= cfg.l1_ways; ++i)
+        m->store(0, 0x10000 + i * stride);
+    // The first line was evicted from L1 and its dirt moved to L2.
+    EXPECT_FALSE(m->l1Holds(0, 0x10000));
+    EXPECT_TRUE(m->l2Dirty(0x10000));
+}
+
+TEST_F(MemSimTest, L2EvictionBackInvalidatesL1)
+{
+    auto m = make();
+    const Addr stride = static_cast<Addr>(cfg.l2_sets) * line_bytes;
+    m->load(0, 0x20000);
+    for (unsigned i = 1; i <= cfg.l2_ways; ++i)
+        m->load(0, 0x20000 + i * stride);
+    // 0x20000 was the LRU L2 victim; inclusivity evicted it from L1 too.
+    EXPECT_FALSE(m->l2Holds(0x20000));
+    EXPECT_FALSE(m->l1Holds(0, 0x20000));
+}
+
+TEST_F(MemSimTest, ClocksAreIndependentPerThread)
+{
+    auto m = make();
+    m->load(0, 0x30000);
+    EXPECT_GT(m->clock(0), 0u);
+    EXPECT_EQ(m->clock(1), 0u);
+    m->fence(1);
+    EXPECT_EQ(m->clock(1), cfg.c_fence);
+}
+
+TEST_F(MemSimTest, StatsCountFlushCategories)
+{
+    auto m = make();
+    m->store(0, 0x40000);
+    m->writeback(0, 0x40000, false); // persisted
+    m->load(0, 0x41000);
+    m->writeback(0, 0x41000, false); // skipped at L1 (skip set by fill)
+    EXPECT_EQ(m->flushesIssued(), 1u);
+    EXPECT_EQ(m->flushesSkippedL1(), 1u);
+    EXPECT_EQ(m->dramWrites(), 1u);
+}
+
+} // namespace
+} // namespace skipit

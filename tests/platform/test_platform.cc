@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests of the commercial-platform writeback models: the documented
+ * semantics that give Figures 11 and 12 their shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hh"
+
+namespace skipit {
+namespace {
+
+TEST(Platform, LatencyGrowsWithSize)
+{
+    for (const PlatformModel &m : platforms::all()) {
+        double prev = 0;
+        for (std::size_t sz = 64; sz <= 32768; sz *= 4) {
+            const double lat = m.latency(sz, 1, WbInstr::Flush);
+            EXPECT_GE(lat, prev) << m.name << " at " << sz;
+            prev = lat;
+        }
+    }
+}
+
+TEST(Platform, ThreadsReduceLargeWritebackLatency)
+{
+    for (const PlatformModel &m : platforms::all()) {
+        const double one = m.latency(32768, 1, WbInstr::Flush);
+        const double eight = m.latency(32768, 8, WbInstr::Flush);
+        EXPECT_LT(eight, one) << m.name;
+    }
+}
+
+TEST(Platform, IntelClflushBlowsUpAt4KiBSingleThread)
+{
+    const PlatformModel intel = platforms::intelXeon6238T();
+    // Below the overlap window the two flush flavours are identical.
+    EXPECT_DOUBLE_EQ(intel.latency(1024, 1, WbInstr::FlushSerial),
+                     intel.latency(1024, 1, WbInstr::Flush));
+    // At 4 KiB the serialization penalty dominates (Fig 11).
+    EXPECT_GT(intel.latency(4096, 1, WbInstr::FlushSerial),
+              3 * intel.latency(4096, 1, WbInstr::Flush));
+}
+
+TEST(Platform, IntelClflushOnlyDegradesAbove16KiBWithEightThreads)
+{
+    const PlatformModel intel = platforms::intelXeon6238T();
+    // Up to 16 KiB each thread's share hides in the overlap window.
+    EXPECT_DOUBLE_EQ(intel.latency(16384, 8, WbInstr::FlushSerial),
+                     intel.latency(16384, 8, WbInstr::Flush));
+    // Above it the gap opens (Fig 12).
+    EXPECT_GT(intel.latency(32768, 8, WbInstr::FlushSerial),
+              intel.latency(32768, 8, WbInstr::Flush));
+}
+
+TEST(Platform, AmdClflushBehavesLikeClflushopt)
+{
+    const PlatformModel amd = platforms::amdEpyc7763();
+    for (std::size_t sz = 64; sz <= 32768; sz *= 2) {
+        const double serial = amd.latency(sz, 1, WbInstr::FlushSerial);
+        const double plain = amd.latency(sz, 1, WbInstr::Flush);
+        // "AMD's clflush and clflushopt perform nearly identically" (§7.3)
+        EXPECT_LT(serial / plain, 1.35) << sz;
+    }
+}
+
+TEST(Platform, GravitonGrowsSubLinearly)
+{
+    const PlatformModel arm = platforms::graviton3();
+    const double at_4k = arm.latency(4096, 1, WbInstr::Flush);
+    const double at_32k = arm.latency(32768, 1, WbInstr::Flush);
+    // 8x the data in clearly less than 8x the time.
+    EXPECT_LT(at_32k / at_4k, 6.0);
+}
+
+TEST(Platform, CleanAndFlushAreEquivalentForNonSerialInstrs)
+{
+    for (const PlatformModel &m : platforms::all()) {
+        EXPECT_DOUBLE_EQ(m.latency(8192, 2, WbInstr::Flush),
+                         m.latency(8192, 2, WbInstr::Clean))
+            << m.name;
+    }
+}
+
+TEST(Platform, SmallWritebackLatenciesAreComparableAcrossPlatforms)
+{
+    // Fig 11: "single-thread latencies are similar across architectures"
+    // for one line.
+    std::vector<double> lat;
+    for (const PlatformModel &m : platforms::all())
+        lat.push_back(m.latency(64, 1, WbInstr::Flush));
+    const auto [mn, mx] = std::minmax_element(lat.begin(), lat.end());
+    EXPECT_LT(*mx / *mn, 2.0);
+}
+
+TEST(Platform, AllReturnsThreeModels)
+{
+    const auto models = platforms::all();
+    ASSERT_EQ(models.size(), 3u);
+    EXPECT_NE(models[0].name.find("Intel"), std::string::npos);
+    EXPECT_NE(models[1].name.find("AMD"), std::string::npos);
+    EXPECT_NE(models[2].name.find("Graviton"), std::string::npos);
+}
+
+} // namespace
+} // namespace skipit

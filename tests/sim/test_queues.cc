@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the timing-aware queue primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/queues.hh"
+#include "sim/simulator.hh"
+
+namespace skipit {
+namespace {
+
+TEST(DelayQueue, EntryInvisibleUntilLatencyElapses)
+{
+    Simulator sim;
+    DelayQueue<int> q(sim, 3);
+    q.push(42);
+    EXPECT_FALSE(q.ready());
+    sim.run(2);
+    EXPECT_FALSE(q.ready());
+    sim.run(1);
+    ASSERT_TRUE(q.ready());
+    EXPECT_EQ(q.pop(), 42);
+}
+
+TEST(DelayQueue, PopsInPushOrder)
+{
+    Simulator sim;
+    DelayQueue<int> q(sim, 1);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    sim.run(1);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(DelayQueue, ExplicitDelayExtendsVisibility)
+{
+    Simulator sim;
+    DelayQueue<int> q(sim, 1);
+    q.push(7, 5);
+    sim.run(4);
+    EXPECT_FALSE(q.ready());
+    sim.run(1);
+    EXPECT_TRUE(q.ready());
+}
+
+TEST(DelayQueue, SizeTracksContents)
+{
+    Simulator sim;
+    DelayQueue<int> q(sim, 1);
+    EXPECT_TRUE(q.empty());
+    q.push(1);
+    q.push(2);
+    EXPECT_EQ(q.size(), 2u);
+    sim.run(1);
+    q.pop();
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedFifo, RejectsWhenFull)
+{
+    BoundedFifo<int> f(2);
+    EXPECT_TRUE(f.tryPush(1));
+    EXPECT_TRUE(f.tryPush(2));
+    EXPECT_TRUE(f.full());
+    EXPECT_FALSE(f.tryPush(3));
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_TRUE(f.tryPush(3));
+    EXPECT_EQ(f.pop(), 2);
+    EXPECT_EQ(f.pop(), 3);
+}
+
+TEST(BoundedFifo, EraseIfRemovesMatching)
+{
+    BoundedFifo<int> f(8);
+    for (int i = 0; i < 6; ++i)
+        f.tryPush(i);
+    const auto removed = f.eraseIf([](int v) { return v % 2 == 0; });
+    EXPECT_EQ(removed, 3u);
+    EXPECT_EQ(f.size(), 3u);
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_EQ(f.pop(), 3);
+    EXPECT_EQ(f.pop(), 5);
+}
+
+TEST(BoundedFifo, IterationVisitsAllEntries)
+{
+    BoundedFifo<int> f(4);
+    f.tryPush(10);
+    f.tryPush(20);
+    int sum = 0;
+    for (int v : f)
+        sum += v;
+    EXPECT_EQ(sum, 30);
+}
+
+TEST(CompletionBuffer, PopsInReadyOrderNotPushOrder)
+{
+    Simulator sim;
+    CompletionBuffer<int> b(sim);
+    b.pushIn(1, 10);
+    b.pushIn(2, 3);
+    b.pushIn(3, 7);
+    sim.run(3);
+    ASSERT_TRUE(b.ready());
+    EXPECT_EQ(b.pop(), 2);
+    EXPECT_FALSE(b.ready());
+    sim.run(4);
+    EXPECT_EQ(b.pop(), 3);
+    sim.run(3);
+    EXPECT_EQ(b.pop(), 1);
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(CompletionBuffer, TiesResolveInInsertionOrder)
+{
+    Simulator sim;
+    CompletionBuffer<int> b(sim);
+    b.pushIn(1, 2);
+    b.pushIn(2, 2);
+    sim.run(2);
+    EXPECT_EQ(b.pop(), 1);
+    EXPECT_EQ(b.pop(), 2);
+}
+
+} // namespace
+} // namespace skipit

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the tabular result reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/report.hh"
+
+namespace skipit {
+namespace {
+
+TEST(ReportTable, TextRenderingAlignsColumns)
+{
+    ReportTable t("demo", {"name", "value"});
+    t.addRow({std::string("a"), std::uint64_t{7}});
+    t.addRow({std::string("long-name"), 3.5});
+    std::ostringstream os;
+    t.renderText(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("=== demo ==="), std::string::npos);
+    EXPECT_NE(s.find("long-name"), std::string::npos);
+    EXPECT_NE(s.find("3.5"), std::string::npos);
+}
+
+TEST(ReportTable, IntegralDoublesRenderWithoutDecimals)
+{
+    ReportTable t("x", {"v"});
+    t.addRow({42.0});
+    std::ostringstream os;
+    t.renderCsv(os);
+    EXPECT_EQ(os.str(), "v\n42\n");
+}
+
+TEST(ReportTable, CsvEscapesCommasAndQuotes)
+{
+    ReportTable t("x", {"a", "b"});
+    t.addRow({std::string("hello, world"), std::string("say \"hi\"")});
+    std::ostringstream os;
+    t.renderCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(ReportTable, CellAccessor)
+{
+    ReportTable t("x", {"a"});
+    t.addRow({std::uint64_t{9}});
+    EXPECT_EQ(std::get<std::uint64_t>(t.at(0, 0)), 9u);
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.columns(), 1u);
+}
+
+TEST(ReportTable, WritesCsvFile)
+{
+    ReportTable t("x", {"n"});
+    t.addRow({std::uint64_t{1}});
+    const std::string path = "/tmp/skipit_report_test.csv";
+    t.writeCsvFile(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "n");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1");
+    std::remove(path.c_str());
+}
+
+TEST(ReportTableDeathTest, RowWidthMismatchPanics)
+{
+    ReportTable t("x", {"a", "b"});
+    EXPECT_DEATH(t.addRow({std::uint64_t{1}}), "row width");
+}
+
+} // namespace
+} // namespace skipit

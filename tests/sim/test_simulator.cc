@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the cycle-driven kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "sim/ticked.hh"
+
+namespace skipit {
+namespace {
+
+class Counter : public Ticked
+{
+  public:
+    explicit Counter(std::string name) : Ticked(std::move(name)) {}
+    void tick() override { ++ticks; }
+    int ticks = 0;
+};
+
+TEST(Simulator, StepAdvancesClockAndTicksComponents)
+{
+    Simulator sim;
+    Counter c("c");
+    sim.add(c);
+    EXPECT_EQ(sim.now(), 0u);
+    sim.step();
+    EXPECT_EQ(sim.now(), 1u);
+    EXPECT_EQ(c.ticks, 1);
+    sim.run(9);
+    EXPECT_EQ(sim.now(), 10u);
+    EXPECT_EQ(c.ticks, 10);
+}
+
+TEST(Simulator, ComponentsTickInRegistrationOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+
+    class Recorder : public Ticked
+    {
+      public:
+        Recorder(std::string n, std::vector<int> &o, int id)
+            : Ticked(std::move(n)), order_(o), id_(id)
+        {
+        }
+        void tick() override { order_.push_back(id_); }
+
+      private:
+        std::vector<int> &order_;
+        int id_;
+    };
+
+    Recorder a("a", order, 1), b("b", order, 2);
+    sim.add(a);
+    sim.add(b);
+    sim.step();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST(Simulator, RunUntilStopsAtPredicate)
+{
+    Simulator sim;
+    Counter c("c");
+    sim.add(c);
+    const Cycle end = sim.runUntil([&] { return c.ticks >= 5; });
+    EXPECT_EQ(end, 5u);
+    EXPECT_EQ(c.ticks, 5);
+}
+
+TEST(SimulatorDeathTest, RunUntilPanicsOnDeadlock)
+{
+    Simulator sim;
+    EXPECT_DEATH(sim.runUntil([] { return false; }, 10), "deadlock");
+}
+
+} // namespace
+} // namespace skipit

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for counters and sample distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace skipit {
+namespace {
+
+TEST(Stats, CountersDefaultToZero)
+{
+    Stats s;
+    EXPECT_EQ(s.get("never.touched"), 0u);
+}
+
+TEST(Stats, CountersAccumulate)
+{
+    Stats s;
+    s["a.b"] += 3;
+    s["a.b"]++;
+    EXPECT_EQ(s.get("a.b"), 4u);
+}
+
+TEST(Stats, DumpListsAllCountersSorted)
+{
+    Stats s;
+    s["z"] = 1;
+    s["a"] = 2;
+    std::ostringstream os;
+    s.dump(os);
+    EXPECT_EQ(os.str(), "a = 2\nz = 1\n");
+}
+
+TEST(Distribution, MedianOfOddCount)
+{
+    Distribution d;
+    for (double v : {5.0, 1.0, 3.0})
+        d.add(v);
+    EXPECT_DOUBLE_EQ(d.median(), 3.0);
+}
+
+TEST(Distribution, MedianOfEvenCountInterpolates)
+{
+    Distribution d;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        d.add(v);
+    EXPECT_DOUBLE_EQ(d.median(), 2.5);
+}
+
+TEST(Distribution, MeanAndStddev)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.add(v);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 2.0);
+}
+
+TEST(Distribution, PercentileBounds)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(d.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 100.0);
+    EXPECT_NEAR(d.percentile(50), 50.5, 1e-9);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+}
+
+} // namespace
+} // namespace skipit

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the event-tracing facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.hh"
+
+namespace skipit {
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    std::ostringstream out;
+
+    void
+    SetUp() override
+    {
+        trace::disableAll();
+        trace::setStream(&out);
+    }
+
+    void
+    TearDown() override
+    {
+        trace::disableAll();
+        trace::setStream(nullptr);
+    }
+};
+
+TEST_F(TraceTest, DisabledChannelsEmitNothing)
+{
+    SKIPIT_TRACE_LOG(5, "quiet", "should not appear");
+    EXPECT_TRUE(out.str().empty());
+}
+
+TEST_F(TraceTest, EnabledChannelEmitsFormattedLine)
+{
+    trace::enable("flush");
+    SKIPIT_TRACE_LOG(42, "flush", "line 0x", std::hex, 0x1000);
+    EXPECT_EQ(out.str(), "42: flush: line 0x1000\n");
+}
+
+TEST_F(TraceTest, AllEnablesEveryChannel)
+{
+    trace::enable("all");
+    SKIPIT_TRACE_LOG(1, "a", "x");
+    SKIPIT_TRACE_LOG(2, "b", "y");
+    EXPECT_EQ(out.str(), "1: a: x\n2: b: y\n");
+}
+
+TEST_F(TraceTest, DisableAllSilencesAgain)
+{
+    trace::enable("l2");
+    SKIPIT_TRACE_LOG(1, "l2", "one");
+    trace::disableAll();
+    SKIPIT_TRACE_LOG(2, "l2", "two");
+    EXPECT_EQ(out.str(), "1: l2: one\n");
+}
+
+TEST_F(TraceTest, ChannelsAreIndependent)
+{
+    trace::enable("l1");
+    SKIPIT_TRACE_LOG(1, "l1", "yes");
+    SKIPIT_TRACE_LOG(2, "l2", "no");
+    EXPECT_EQ(out.str(), "1: l1: yes\n");
+}
+
+} // namespace
+} // namespace skipit

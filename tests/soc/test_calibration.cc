@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Calibration regression guard: the headline numbers of EXPERIMENTS.md
+ * must not drift silently when the model changes. Bounds are deliberately
+ * loose (shape, not noise), but tight enough that a broken interlock or
+ * a mis-tuned latency shows up here before it shows up in the figures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.hh"
+
+namespace skipit {
+namespace {
+
+TEST(Calibration, SingleLineFlushNearPaperHundredCycles)
+{
+    const Cycle c = workloads::cboLatency(SoCConfig{}, 1, 64, true);
+    EXPECT_GE(c, 80u);
+    EXPECT_LE(c, 140u); // paper: ~100
+}
+
+TEST(Calibration, FullCacheFlushNearPaperSevenK)
+{
+    const Cycle c = workloads::cboLatency(SoCConfig{}, 1, 32768, true);
+    EXPECT_GE(c, 5000u);
+    EXPECT_LE(c, 9000u); // paper: ~7460
+}
+
+TEST(Calibration, EightThreadSpeedupAtLeastFivefold)
+{
+    const Cycle one = workloads::cboLatency(SoCConfig{}, 1, 32768, true);
+    const Cycle eight = workloads::cboLatency(SoCConfig{}, 8, 32768, true);
+    EXPECT_GE(static_cast<double>(one) / static_cast<double>(eight), 5.0);
+}
+
+TEST(Calibration, CleanRereadAboutTwiceAsFastAsFlush)
+{
+    const Cycle clean =
+        workloads::writeWbReadLatency(SoCConfig{}, 1, 4096, false);
+    const Cycle flush =
+        workloads::writeWbReadLatency(SoCConfig{}, 1, 4096, true);
+    const double ratio =
+        static_cast<double>(flush) / static_cast<double>(clean);
+    EXPECT_GE(ratio, 1.7); // paper: ~2x
+    EXPECT_LE(ratio, 3.5);
+}
+
+TEST(Calibration, SkipItWinInPaperBand)
+{
+    SoCConfig naive;
+    naive.withSkipIt(false);
+    SoCConfig skip;
+    skip.withSkipIt(true);
+    const Cycle n = workloads::redundantWbLatency(naive, 1, 32768, false);
+    const Cycle s = workloads::redundantWbLatency(skip, 1, 32768, false);
+    const double speedup =
+        static_cast<double>(n) / static_cast<double>(s);
+    EXPECT_GE(speedup, 1.10); // paper: 15-30%
+    EXPECT_LE(speedup, 1.45);
+}
+
+TEST(Calibration, WritebacksPipelineWellBelowSerialCost)
+{
+    // Sustained per-line cost must stay far under the ~105-cycle round
+    // trip: that is the whole point of the 8 FSHRs.
+    const Cycle c = workloads::cboLatency(SoCConfig{}, 1, 32768, true);
+    EXPECT_LT(static_cast<double>(c) / 512.0, 20.0);
+}
+
+} // namespace
+} // namespace skipit

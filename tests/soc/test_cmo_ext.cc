@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests of the CMO-spec extension instructions this repo adds on top of
+ * the paper's CBO.CLEAN/CBO.FLUSH: CBO.INVAL (invalidate without
+ * writeback — permitted data loss) and CBO.ZERO (zero a whole block).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/asm.hh"
+#include "soc/soc.hh"
+
+namespace skipit {
+namespace {
+
+class CmoExt : public ::testing::Test
+{
+  protected:
+    SoCConfig cfg{};
+};
+
+TEST_F(CmoExt, InvalDiscardsDirtyDataWithoutWriteback)
+{
+    SoC soc(cfg);
+    soc.hart(0).setProgram({
+        MemOp::store(0x1000, 99),
+        MemOp::inval(0x1000),
+        MemOp::fence(),
+        MemOp::load(0x1000),
+    });
+    soc.runToCompletion();
+    // The dirty data never reached DRAM (inval is NOT a writeback)...
+    EXPECT_EQ(soc.dram().peekWord(0x1000), 0u);
+    // ...and the post-inval load refetched stale memory (zero).
+    EXPECT_EQ(soc.hart(0).loadValue(3), 0u);
+}
+
+TEST_F(CmoExt, InvalRemovesLineFromAllCaches)
+{
+    cfg.cores = 2;
+    SoC soc(cfg);
+    // Core 0 holds the line; core 1 invalidates it: the L2's recursive
+    // probing must revoke core 0's copy too.
+    soc.hart(0).setProgram({MemOp::store(0x2000, 5), MemOp::fence()});
+    soc.hart(1).setProgram({});
+    soc.runToQuiescence();
+    soc.hart(1).setProgram({MemOp::inval(0x2000), MemOp::fence()});
+    soc.runToQuiescence();
+    EXPECT_EQ(soc.l1(0).lineState(0x2000), ClientState::Nothing);
+    EXPECT_FALSE(soc.l2().isResident(0x2000));
+    EXPECT_EQ(soc.dram().peekWord(0x2000), 0u); // data was discarded
+}
+
+TEST_F(CmoExt, InvalOfPersistedLineIsHarmless)
+{
+    SoC soc(cfg);
+    soc.hart(0).setProgram({
+        MemOp::store(0x3000, 7),
+        MemOp::clean(0x3000),
+        MemOp::fence(),
+        MemOp::inval(0x3000),
+        MemOp::fence(),
+        MemOp::load(0x3000),
+    });
+    soc.runToCompletion();
+    EXPECT_EQ(soc.dram().peekWord(0x3000), 7u);
+    EXPECT_EQ(soc.hart(0).loadValue(5), 7u); // refetched from memory
+}
+
+TEST_F(CmoExt, InvalNeverSkipDropped)
+{
+    SoC soc(cfg);
+    // Clean line with the skip bit set: a flush would be dropped, but an
+    // inval must still execute (a device may have changed DRAM).
+    soc.hart(0).setProgram({MemOp::load(0x4000), MemOp::fence()});
+    soc.runToQuiescence();
+    ASSERT_TRUE(soc.l1(0).lineSkip(0x4000));
+    soc.hart(0).setProgram({MemOp::inval(0x4000), MemOp::fence()});
+    soc.runToQuiescence();
+    EXPECT_EQ(soc.stats().get("l1.0.skipit_dropped"), 0u);
+    EXPECT_EQ(soc.l1(0).lineState(0x4000), ClientState::Nothing);
+}
+
+TEST_F(CmoExt, InvalObservesDeviceWrittenMemory)
+{
+    SoC soc(cfg);
+    soc.hart(0).setProgram({MemOp::load(0x5000), MemOp::fence()});
+    soc.runToQuiescence();
+    // A non-coherent device rewrites memory behind the caches.
+    LineData fresh{};
+    fresh[0] = 0xEE;
+    soc.dram().pokeLine(0x5000, fresh);
+    // Without the inval the core would keep reading its stale copy;
+    // after it, the load sees the device's data — the DMA-read scenario
+    // of §2.5, from the consumer side.
+    soc.hart(0).setProgram({
+        MemOp::inval(0x5000),
+        MemOp::fence(),
+        MemOp::load(0x5000),
+    });
+    soc.runToCompletion();
+    EXPECT_EQ(soc.hart(0).loadValue(2) & 0xFF, 0xEEu);
+}
+
+TEST_F(CmoExt, ZeroClearsWholeLineOnHit)
+{
+    SoC soc(cfg);
+    Program p;
+    for (unsigned w = 0; w < line_bytes / 8; ++w)
+        p.push_back(MemOp::store(0x6000 + w * 8, 0x1111 * (w + 1)));
+    p.push_back(MemOp::zero(0x6000));
+    p.push_back(MemOp::fence());
+    for (unsigned w = 0; w < line_bytes / 8; ++w)
+        p.push_back(MemOp::load(0x6000 + w * 8));
+    soc.hart(0).setProgram(p);
+    soc.runToCompletion();
+    const std::size_t first_load = line_bytes / 8 + 2;
+    for (unsigned w = 0; w < line_bytes / 8; ++w)
+        EXPECT_EQ(soc.hart(0).loadValue(first_load + w), 0u) << w;
+    EXPECT_TRUE(soc.l1(0).lineDirty(0x6000)); // zeroing dirties the line
+}
+
+TEST_F(CmoExt, ZeroOnColdLineAcquiresThenZeroes)
+{
+    SoC soc(cfg);
+    // Seed DRAM so the zero demonstrably overwrites the fetched data.
+    LineData seeded{};
+    seeded[0] = 0xAB;
+    soc.dram().pokeLine(0x7000, seeded);
+    soc.hart(0).setProgram({
+        MemOp::zero(0x7000),
+        MemOp::flush(0x7000),
+        MemOp::fence(),
+    });
+    soc.runToCompletion();
+    EXPECT_EQ(soc.dram().peekWord(0x7000), 0u); // zeros persisted
+}
+
+TEST_F(CmoExt, ZeroThenFlushPersistsZeros)
+{
+    SoC soc(cfg);
+    soc.hart(0).setProgram({
+        MemOp::store(0x8000, 42),
+        MemOp::flush(0x8000),
+        MemOp::fence(),
+        MemOp::zero(0x8000),
+        MemOp::flush(0x8000),
+        MemOp::fence(),
+    });
+    soc.runToCompletion();
+    EXPECT_EQ(soc.dram().peekWord(0x8000), 0u);
+}
+
+TEST_F(CmoExt, InvalCoalescesWithPendingInval)
+{
+    cfg.cores = 1;
+    SoC soc(cfg);
+    Program p;
+    // Saturate the FSHRs, then issue two invals to one line.
+    for (int i = 0; i < 8; ++i)
+        p.push_back(MemOp::inval(0x9000 + i * line_bytes));
+    p.push_back(MemOp::inval(0xA000));
+    p.push_back(MemOp::inval(0xA000));
+    p.push_back(MemOp::fence());
+    soc.hart(0).setProgram(p);
+    soc.runToCompletion();
+    EXPECT_GE(soc.stats().get("l1.0.cbo_coalesced"), 1u);
+}
+
+TEST_F(CmoExt, AssemblerAndEncodings)
+{
+    const Program p = assembleProgram(R"(
+        cbo.inval 0x100
+        cbo.zero  0x140
+    )");
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p[0].kind, MemOpKind::CboInval);
+    EXPECT_EQ(p[1].kind, MemOpKind::CboZero);
+
+    // CMO spec: imm selects the op — inval=0, clean=1, flush=2, zero=4.
+    EXPECT_STREQ(riscv::decodeKind(riscv::encodeCboInval(3)), "cbo.inval");
+    EXPECT_STREQ(riscv::decodeKind(riscv::encodeCboZero(3)), "cbo.zero");
+    EXPECT_EQ(riscv::encodeCboZero(3),
+              (4u << 20) | (3u << 15) | (0b010u << 12) | 0b0001111u);
+}
+
+TEST_F(CmoExt, InvalCrashSemanticsInWal)
+{
+    // A WAL that invalidates instead of flushing is broken: the fence
+    // completes but nothing persisted.
+    SoC soc(cfg);
+    soc.hart(0).setProgram({
+        MemOp::store(0xB000, 1),
+        MemOp::inval(0xB000),
+        MemOp::fence(),
+    });
+    soc.runToQuiescence();
+    EXPECT_EQ(soc.dram().peekWord(0xB000), 0u);
+}
+
+} // namespace
+} // namespace skipit

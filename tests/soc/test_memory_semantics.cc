@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The paper's §4 memory-semantics contract, exercised end to end —
+ * including the three scenarios of Figure 5.
+ */
+
+#include <gtest/gtest.h>
+
+#include "soc/soc.hh"
+
+namespace skipit {
+namespace {
+
+class MemSemantics : public ::testing::Test
+{
+  protected:
+    SoCConfig cfg{};
+};
+
+// Figure 5 (a): without writebacks, nothing is guaranteed to be in
+// memory, in any order.
+TEST_F(MemSemantics, ScenarioA_NoWritebackNoPersistence)
+{
+    SoC soc(cfg);
+    soc.hart(0).setProgram({
+        MemOp::store(0x1000, 1), // x = 1
+        MemOp::store(0x2000, 1), // y = 1
+        MemOp::fence(),
+    });
+    soc.runToQuiescence();
+    EXPECT_EQ(soc.dram().peekWord(0x1000), 0u);
+    EXPECT_EQ(soc.dram().peekWord(0x2000), 0u);
+}
+
+// Figure 5 (b): writeback(x) is ordered only with respect to writes to
+// x's line; y may or may not be persisted — but x must be after a fence.
+TEST_F(MemSemantics, ScenarioB_WritebackOrderedWithSameLineWrites)
+{
+    SoC soc(cfg);
+    soc.hart(0).setProgram({
+        MemOp::store(0x1000, 1), // x = 1
+        MemOp::flush(0x1000),    // writeback(&x)
+        MemOp::store(0x2000, 1), // y = 1 (no writeback)
+        MemOp::fence(),
+    });
+    soc.runToQuiescence();
+    EXPECT_EQ(soc.dram().peekWord(0x1000), 1u); // x persisted
+    EXPECT_EQ(soc.dram().peekWord(0x2000), 0u); // y still cached
+}
+
+// Figure 5 (c): writeback + fence makes the value durable before any
+// subsequent instruction executes.
+TEST_F(MemSemantics, ScenarioC_FenceOrdersWritebackBeforeLaterOps)
+{
+    SoC soc(cfg);
+    soc.hart(0).setProgram({
+        MemOp::store(0x1000, 7),  // x = 7
+        MemOp::flush(0x1000),     // writeback(&x)
+        MemOp::fence(),           // fence()
+        MemOp::load(0x1000),      // y = x
+    });
+    soc.runToCompletion();
+    EXPECT_EQ(soc.dram().peekWord(0x1000), 7u);
+    EXPECT_EQ(soc.hart(0).loadValue(3), 7u);
+}
+
+// §4: a writeback covers ALL earlier writes to the same cache line, not
+// just the word named by the instruction.
+TEST_F(MemSemantics, WritebackCoversWholeLine)
+{
+    SoC soc(cfg);
+    soc.hart(0).setProgram({
+        MemOp::store(0x1000, 0xA),
+        MemOp::store(0x1008, 0xB), // same line, different word
+        MemOp::store(0x1038, 0xC), // last word of the line
+        MemOp::flush(0x1010),      // any address within the line
+        MemOp::fence(),
+    });
+    soc.runToCompletion();
+    EXPECT_EQ(soc.dram().peekWord(0x1000), 0xAu);
+    EXPECT_EQ(soc.dram().peekWord(0x1008), 0xBu);
+    EXPECT_EQ(soc.dram().peekWord(0x1038), 0xCu);
+}
+
+// §4 (BOOM specifics): because CBO.X is encoded as a store, it is ordered
+// behind ALL program-order-earlier writes, like x86.
+TEST_F(MemSemantics, WritebackOrderedBehindEarlierWritesToOtherLines)
+{
+    SoC soc(cfg);
+    soc.hart(0).setProgram({
+        MemOp::store(0x3000, 3), // other line, before the writeback
+        MemOp::store(0x1000, 1),
+        MemOp::flush(0x1000),
+        MemOp::flush(0x3000),
+        MemOp::fence(),
+    });
+    soc.runToCompletion();
+    // Both writebacks observed both stores.
+    EXPECT_EQ(soc.dram().peekWord(0x3000), 3u);
+    EXPECT_EQ(soc.dram().peekWord(0x1000), 1u);
+}
+
+// §4: writebacks are asynchronous — they don't block retirement. A long
+// run of independent flushes completes far faster than synchronous
+// round trips would allow.
+TEST_F(MemSemantics, WritebacksAreAsynchronous)
+{
+    SoC soc(cfg);
+    Program warm, p;
+    constexpr int lines = 32;
+    for (int i = 0; i < lines; ++i)
+        warm.push_back(MemOp::store(0x4000 + i * line_bytes, i));
+    warm.push_back(MemOp::fence());
+    soc.hart(0).setProgram(warm);
+    soc.runToQuiescence();
+
+    for (int i = 0; i < lines; ++i)
+        p.push_back(MemOp::flush(0x4000 + i * line_bytes));
+    p.push_back(MemOp::fence());
+    soc.hart(0).setProgram(p);
+    const Cycle t = soc.runToCompletion();
+    // One synchronous flush is ~112 cycles; 32 must pipeline well below
+    // 32 * 112.
+    EXPECT_LT(t, 32u * 112u / 2u);
+}
+
+// §4: a store to a line with a pending CBO.FLUSH must not have its data
+// written back by that earlier flush (it nacks until the flush is done).
+TEST_F(MemSemantics, LaterStoreNotSwallowedByEarlierFlush)
+{
+    SoC soc(cfg);
+    soc.hart(0).setProgram({
+        MemOp::store(0x5000, 1),
+        MemOp::flush(0x5000),
+        MemOp::store(0x5000, 2), // program-order after the flush
+        MemOp::fence(),
+    });
+    soc.runToQuiescence();
+    // The flush persisted value 1; value 2 is newer and dirty in cache.
+    EXPECT_EQ(soc.dram().peekWord(0x5000), 1u);
+    soc.hart(0).setProgram({MemOp::load(0x5000)});
+    soc.runToCompletion();
+    EXPECT_EQ(soc.hart(0).loadValue(0), 2u);
+}
+
+// Multi-copy atomicity across cores: once core 1's load returns the new
+// value, the directory serialized the transfer; a subsequent flush from
+// either core persists exactly that value.
+TEST_F(MemSemantics, CrossCoreFlushPersistsLatestValue)
+{
+    cfg.cores = 2;
+    SoC soc(cfg);
+    soc.hart(0).setProgram({MemOp::store(0x6000, 10), MemOp::fence()});
+    soc.hart(1).setProgram({});
+    soc.runToQuiescence();
+    soc.hart(1).setProgram({
+        MemOp::load(0x6000),
+        MemOp::flush(0x6000),
+        MemOp::fence(),
+    });
+    soc.runToCompletion();
+    EXPECT_EQ(soc.hart(1).loadValue(0), 10u);
+    EXPECT_EQ(soc.dram().peekWord(0x6000), 10u);
+}
+
+} // namespace
+} // namespace skipit

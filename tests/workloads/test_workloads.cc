@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the workloads library: program builders produce exactly the
+ * paper's access patterns, and the measurement harnesses return sane,
+ * internally consistent results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.hh"
+
+namespace skipit {
+namespace {
+
+using namespace workloads;
+
+TEST(WorkloadBuilders, DirtyRegionStoresEveryLineThenFences)
+{
+    const Program p = dirtyRegion(0x1000, 5);
+    ASSERT_EQ(p.size(), 6u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(p[static_cast<unsigned>(i)].kind, MemOpKind::Store);
+        EXPECT_EQ(p[static_cast<unsigned>(i)].addr,
+                  0x1000u + static_cast<Addr>(i) * line_bytes);
+    }
+    EXPECT_EQ(p.back().kind, MemOpKind::Fence);
+}
+
+TEST(WorkloadBuilders, WritebackRegionHonoursKindAndPasses)
+{
+    const Program flush = writebackRegion(0x2000, 3, true, 2);
+    ASSERT_EQ(flush.size(), 7u); // 3 lines x 2 passes + fence
+    EXPECT_EQ(flush[0].kind, MemOpKind::CboFlush);
+    EXPECT_EQ(flush[3].kind, MemOpKind::CboFlush);
+    EXPECT_EQ(flush[3].addr, 0x2000u); // second pass restarts
+    const Program clean = writebackRegion(0x2000, 3, false);
+    EXPECT_EQ(clean[0].kind, MemOpKind::CboClean);
+}
+
+TEST(WorkloadHarness, CboLatencyScalesWithSize)
+{
+    const Cycle small = cboLatency(SoCConfig{}, 1, 64, true);
+    const Cycle large = cboLatency(SoCConfig{}, 1, 8192, true);
+    EXPECT_GT(large, small);
+    EXPECT_GT(small, 0u);
+}
+
+TEST(WorkloadHarness, MoreThreadsNeverSlowerOnLargeRegions)
+{
+    const Cycle one = cboLatency(SoCConfig{}, 1, 16384, true);
+    const Cycle four = cboLatency(SoCConfig{}, 4, 16384, true);
+    EXPECT_LT(four, one);
+}
+
+TEST(WorkloadHarness, RedundantWbBenefitsFromSkipIt)
+{
+    SoCConfig naive;
+    naive.withSkipIt(false);
+    SoCConfig skip;
+    skip.withSkipIt(true);
+    const Cycle n = redundantWbLatency(naive, 1, 4096, false);
+    const Cycle s = redundantWbLatency(skip, 1, 4096, false);
+    EXPECT_LT(s, n);
+}
+
+TEST(WorkloadMeta, NamesAndRangesAreConsistent)
+{
+    EXPECT_STREQ(name(DsKind::Bst), "bst");
+    EXPECT_STREQ(name(DsKind::List), "linked-list");
+    EXPECT_EQ(keyRange(DsKind::List), 128u);   // the paper's list size
+    EXPECT_EQ(keyRange(DsKind::Bst), 10240u);  // "BST (10k keys)"
+    EXPECT_FALSE(applicable(DsKind::Bst, FlushPolicy::LinkAndPersist));
+    EXPECT_TRUE(applicable(DsKind::List, FlushPolicy::LinkAndPersist));
+    EXPECT_TRUE(applicable(DsKind::Bst, FlushPolicy::SkipIt));
+}
+
+TEST(WorkloadMeta, MakeSetBuildsEveryKind)
+{
+    MemSim mem{NvmConfig{}};
+    PersistCtx ctx(mem, PersistConfig{});
+    for (const DsKind k : {DsKind::List, DsKind::HashTable, DsKind::Bst,
+                           DsKind::SkipList}) {
+        auto set = makeSet(k, ctx);
+        ASSERT_NE(set, nullptr);
+        EXPECT_TRUE(set->insert(0, 5));
+        EXPECT_TRUE(set->contains(0, 5));
+    }
+}
+
+TEST(WorkloadThroughput, ReturnsConsistentCounts)
+{
+    const ThroughputResult r = runThroughput(
+        DsKind::HashTable, FlushPolicy::SkipIt, PersistMode::NvTraverse,
+        5.0, 1, 50'000);
+    EXPECT_GT(r.ops, 0u);
+    EXPECT_GT(r.mops_per_mcycle, 0.0);
+    // Skip It actually skipped something on this workload.
+    EXPECT_GT(r.skipped_l1, 0u);
+}
+
+TEST(WorkloadThroughput, HigherUpdateRatioIsSlower)
+{
+    const auto reads = runThroughput(DsKind::SkipList, FlushPolicy::Plain,
+                                     PersistMode::Automatic, 0.0, 1,
+                                     60'000);
+    const auto writes = runThroughput(DsKind::SkipList, FlushPolicy::Plain,
+                                      PersistMode::Automatic, 100.0, 1,
+                                      60'000);
+    // Plain/automatic flushes everything either way; updates add CAS and
+    // allocation work on top.
+    EXPECT_LE(writes.mops_per_mcycle, reads.mops_per_mcycle * 1.10);
+}
+
+} // namespace
+} // namespace skipit

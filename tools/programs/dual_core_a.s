@@ -1,0 +1,9 @@
+; Core 0 of a dual-core writeback demo: dirty a region and flush it.
+; Run: skipit-run tools/programs/dual_core_a.s tools/programs/dual_core_b.s
+store     0x10000 1
+store     0x10040 2
+store     0x10080 3
+cbo.flush 0x10000
+cbo.flush 0x10040
+cbo.flush 0x10080
+fence

@@ -1,0 +1,6 @@
+; Core 1: flush lines that core 0 dirtied (exercises the L2's recursive
+; probing of other owners, paper §5.5).
+store     0x20000 9
+cbo.flush 0x10000
+cbo.clean 0x20000
+fence

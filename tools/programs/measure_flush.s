@@ -1,0 +1,8 @@
+; Measure a warmed single-line flush round trip with RDCYCLE markers
+; (the paper's §7.1 methodology). Run with --stats to see the counters.
+store     0x2000 7
+fence
+rdcycle   1
+cbo.flush 0x2000
+fence
+rdcycle   2

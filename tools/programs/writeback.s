@@ -1,0 +1,5 @@
+; Persist one value: the quickstart in assembly form.
+; Run: skipit-run --stats --peek 0x1000 tools/programs/writeback.s
+store     0x1000 42
+cbo.flush 0x1000
+fence

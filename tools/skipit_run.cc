@@ -1,0 +1,137 @@
+/**
+ * @file
+ * skipit-run: execute an assembly program on the simulated SoC.
+ *
+ *   skipit-run [options] <program.s> [<program2.s> ...]
+ *
+ * Each program file runs on its own hart (core i gets file i). Options:
+ *
+ *   --cores N        number of cores (default: number of programs)
+ *   --no-skipit      disable the Skip It skip bit and GrantDataDirty
+ *   --trace CH[,CH]  enable trace channels (flush, l1, l2, all)
+ *   --stats          dump every counter at the end
+ *   --peek ADDR      print the DRAM word at ADDR after the run
+ *                    (repeatable)
+ *
+ * Example:
+ *
+ *   cat > wb.s <<'EOF'
+ *   store     0x1000 42
+ *   cbo.flush 0x1000
+ *   fence
+ *   EOF
+ *   skipit-run --stats --peek 0x1000 wb.s
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/asm.hh"
+#include "sim/trace.hh"
+#include "soc/soc.hh"
+
+using namespace skipit;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: skipit-run [--cores N] [--no-skipit] "
+                 "[--trace CH[,CH]] [--stats]\n"
+                 "                  [--describe] [--peek ADDR]... "
+                 "<program.s>...\n");
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        SKIPIT_FATAL("cannot open program file: ", path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned cores = 0;
+    bool skip_it = true;
+    bool dump_stats = false;
+    bool describe = false;
+    std::vector<Addr> peeks;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--cores" && i + 1 < argc) {
+            cores = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--no-skipit") {
+            skip_it = false;
+        } else if (arg == "--trace" && i + 1 < argc) {
+            std::stringstream ss(argv[++i]);
+            std::string ch;
+            while (std::getline(ss, ch, ','))
+                trace::enable(ch);
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--describe") {
+            describe = true;
+        } else if (arg == "--peek" && i + 1 < argc) {
+            peeks.push_back(std::stoull(argv[++i], nullptr, 0));
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            return 1;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty()) {
+        usage();
+        return 1;
+    }
+
+    SoCConfig cfg;
+    cfg.cores = cores != 0 ? cores
+                           : static_cast<unsigned>(files.size());
+    if (cfg.cores < files.size()) {
+        std::fprintf(stderr, "error: %zu programs but only %u cores\n",
+                     files.size(), cfg.cores);
+        return 1;
+    }
+    cfg.withSkipIt(skip_it);
+    SoC soc(cfg);
+    if (describe)
+        std::fputs(cfg.describe().c_str(), stdout);
+
+    for (std::size_t i = 0; i < files.size(); ++i)
+        soc.hart(static_cast<unsigned>(i))
+            .setProgram(assembleProgram(readFile(files[i])));
+
+    const Cycle cycles = soc.runToQuiescence();
+    std::printf("completed in %llu cycles (%u cores, skip-it %s)\n",
+                static_cast<unsigned long long>(cycles), cfg.cores,
+                skip_it ? "on" : "off");
+
+    for (const Addr a : peeks) {
+        std::printf("dram[0x%llx] = 0x%llx\n",
+                    static_cast<unsigned long long>(a),
+                    static_cast<unsigned long long>(
+                        soc.dram().peekWord(a)));
+    }
+    if (dump_stats)
+        soc.stats().dump(std::cout);
+    return 0;
+}
