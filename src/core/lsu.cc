@@ -1,6 +1,38 @@
 #include "lsu.hh"
 
+#include "sim/trace.hh"
+
 namespace skipit {
+
+namespace {
+
+const char *
+memOpName(MemOpKind k)
+{
+    switch (k) {
+      case MemOpKind::Load:
+        return "load";
+      case MemOpKind::Store:
+        return "store";
+      case MemOpKind::CboClean:
+        return "cbo.clean";
+      case MemOpKind::CboFlush:
+        return "cbo.flush";
+      case MemOpKind::CboInval:
+        return "cbo.inval";
+      case MemOpKind::CboZero:
+        return "cbo.zero";
+      case MemOpKind::Fence:
+        return "fence";
+      case MemOpKind::Delay:
+        return "delay";
+      case MemOpKind::Marker:
+        return "marker";
+    }
+    return "?";
+}
+
+} // namespace
 
 Lsu::Lsu(std::string name, Simulator &sim, const LsuConfig &cfg,
          DataCache &dcache, Stats &stats)
@@ -19,6 +51,15 @@ Lsu::dispatch(const MemOp &op)
     Entry e;
     e.op = op;
     e.ticket = next_ticket_++;
+    // Transaction ids are allocated unconditionally so attaching a sink
+    // never perturbs ids (and thus never perturbs anything downstream).
+    e.txn = sim_.probes().newTxn();
+    if (sim_.probes().active()) {
+        sim_.probes().begin(
+            sim_.now(), e.txn, "lsu.window", name(),
+            trace::detail::concat(memOpName(op.kind), " 0x", std::hex,
+                                  op.addr));
+    }
     window_.push_back(e);
     return e.ticket;
 }
@@ -103,6 +144,7 @@ Lsu::toCpuReq(const Entry &e) const
     req.size = e.op.size;
     req.data = e.op.data;
     req.id = e.ticket;
+    req.txn = e.txn;
     switch (e.op.kind) {
       case MemOpKind::Load:
         req.kind = CpuOpKind::Load;
@@ -141,11 +183,21 @@ Lsu::drainResponses()
             e->state = EntryState::Waiting;
             e->retry_at = sim_.now() + cfg_.retry_backoff;
             stats_[sp_ + "retries"]++;
+            if (sim_.probes().active()) {
+                sim_.probes().instant(sim_.now(), e->txn, "lsu.nack",
+                                      name(), "nacked; backing off");
+            }
         } else {
             e->state = EntryState::Done;
             if (e->op.kind == MemOpKind::Load) {
                 e->load_value = resp.data;
                 load_results_[e->ticket] = resp.data;
+            }
+            if (sim_.probes().active()) {
+                sim_.probes().end(
+                    sim_.now(), e->txn, "lsu.window", name(),
+                    trace::detail::concat(memOpName(e->op.kind), " 0x",
+                                          std::hex, e->op.addr));
             }
         }
     }
@@ -167,6 +219,10 @@ Lsu::fire()
             if (olderAllDone(i) && !dcache_.flushing()) {
                 e.state = EntryState::Done;
                 stats_[sp_ + "fences"]++;
+                if (sim_.probes().active()) {
+                    sim_.probes().end(sim_.now(), e.txn, "lsu.window",
+                                      name(), "fence released");
+                }
             }
             continue;
         }
@@ -180,6 +236,10 @@ Lsu::fire()
                 load_results_[e.ticket] = st->op.data;
                 e.state = EntryState::Done;
                 stats_[sp_ + "stl_forwards"]++;
+                if (sim_.probes().active()) {
+                    sim_.probes().end(sim_.now(), e.txn, "lsu.window",
+                                      name(), "store-to-load forward");
+                }
                 continue;
             }
             // An older overlapping (non-forwardable) store must drain
@@ -199,6 +259,10 @@ Lsu::fire()
             dcache_.submit(toCpuReq(e));
             e.state = EntryState::Fired;
             ++fired;
+            if (sim_.probes().active()) {
+                sim_.probes().instant(sim_.now(), e.txn, "lsu.fire",
+                                      name(), "load fired");
+            }
             continue;
         }
 
@@ -209,6 +273,11 @@ Lsu::fire()
         dcache_.submit(toCpuReq(e));
         e.state = EntryState::Fired;
         ++fired;
+        if (sim_.probes().active()) {
+            sim_.probes().instant(
+                sim_.now(), e.txn, "lsu.fire", name(),
+                trace::detail::concat(memOpName(e.op.kind), " fired"));
+        }
     }
 }
 

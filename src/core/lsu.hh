@@ -82,6 +82,7 @@ class Lsu : public Ticked
     {
         MemOp op;
         std::uint64_t ticket = 0;
+        TxnId txn = 0;
         EntryState state = EntryState::Waiting;
         Cycle retry_at = 0;
         std::uint64_t load_value = 0;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "sim/trace.hh"
+
 namespace skipit {
 
 Dram::Dram(std::string name, Simulator &sim, const DramConfig &cfg,
@@ -48,6 +50,13 @@ Dram::tick()
     } else {
         resp.data = peekLine(req.addr);
         resp_q_.pushIn(resp, cfg_.latency);
+    }
+    if (sim_.probes().active()) {
+        sim_.probes().span(
+            sim_.now(), req.write ? cfg_.write_ack_latency : cfg_.latency,
+            req.txn, req.write ? "dram.write" : "dram.read", name(),
+            trace::detail::concat(req.write ? "write 0x" : "read 0x",
+                                  std::hex, req.addr));
     }
 }
 

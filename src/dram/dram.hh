@@ -33,6 +33,7 @@ struct MemReq
     Addr addr = 0;        //!< line-aligned
     LineData data{};      //!< valid for writes
     std::uint64_t tag = 0; //!< opaque id echoed in the response
+    TxnId txn = 0;        //!< observability transaction id
 };
 
 /** Completion of a MemReq. */

@@ -43,6 +43,27 @@ isCbo(CpuOpKind k)
            k == CpuOpKind::CboInval;
 }
 
+/** Mnemonic for trace / probe event rendering. */
+constexpr const char *
+cpuOpName(CpuOpKind k)
+{
+    switch (k) {
+      case CpuOpKind::Load:
+        return "load";
+      case CpuOpKind::Store:
+        return "store";
+      case CpuOpKind::CboClean:
+        return "cbo.clean";
+      case CpuOpKind::CboFlush:
+        return "cbo.flush";
+      case CpuOpKind::CboInval:
+        return "cbo.inval";
+      case CpuOpKind::CboZero:
+        return "cbo.zero";
+    }
+    return "?";
+}
+
 /** A request fired from the LSU into the data cache. */
 struct CpuReq
 {
@@ -51,6 +72,7 @@ struct CpuReq
     unsigned size = 8;        //!< access size in bytes (loads/stores)
     std::uint64_t data = 0;   //!< store payload
     std::uint64_t id = 0;     //!< LSU tag echoed in the response
+    TxnId txn = 0;            //!< observability transaction id
 };
 
 /** The data cache's reply. */

@@ -6,6 +6,44 @@
 
 namespace skipit {
 
+namespace {
+
+const char *
+fshrStateName(Fshr::State st)
+{
+    switch (st) {
+      case Fshr::State::Invalid:
+        return "invalid";
+      case Fshr::State::MetaWrite:
+        return "meta-write";
+      case Fshr::State::FillBuffer:
+        return "fill-buffer";
+      case Fshr::State::RootReleaseData:
+        return "root-release-data";
+      case Fshr::State::RootRelease:
+        return "root-release";
+      case Fshr::State::RootReleaseAck:
+        return "root-release-ack";
+    }
+    return "?";
+}
+
+const char *
+cboName(CboKind k)
+{
+    switch (k) {
+      case CboKind::Clean:
+        return "clean";
+      case CboKind::Flush:
+        return "flush";
+      case CboKind::Inval:
+        return "inval";
+    }
+    return "?";
+}
+
+} // namespace
+
 DataCache::DataCache(std::string name, Simulator &sim, const L1Config &cfg,
                      AgentId id, TLLink &link, Stats &stats)
     : Ticked(std::move(name)), sim_(sim), cfg_(cfg), id_(id), link_(link),
@@ -142,6 +180,10 @@ DataCache::processChannelD()
             SKIPIT_ASSERT(wbu_.state == WritebackUnit::State::AwaitAck &&
                           wbu_.line == msg.addr,
                           "ReleaseAck without matching writeback");
+            if (sim_.probes().active()) {
+                sim_.probes().end(sim_.now(), wbu_.txn, "l1.wbu",
+                                  name() + ".wbu", "ReleaseAck");
+            }
             wbu_.state = WritebackUnit::State::Idle;
             break;
           case DOp::RootReleaseAck: {
@@ -186,8 +228,17 @@ DataCache::fillFromGrant(const DMsg &grant)
     EMsg ack;
     ack.addr = grant.addr;
     ack.source = id_;
+    ack.txn = m.txn;
     link_.e.send(ack);
 
+    if (sim_.probes().active()) {
+        sim_.probes().end(
+            sim_.now(), m.txn, "l1.mshr",
+            name() + ".mshr" +
+                std::to_string(static_cast<unsigned>(idx)),
+            grant.op == DOp::GrantDataDirty ? "filled (GrantDataDirty)"
+                                            : "filled");
+    }
     replay(m, set, static_cast<unsigned>(way));
     m = L1Mshr{};
     stats_[sp_ + "fills"]++;
@@ -238,6 +289,12 @@ DataCache::processProbe()
             const BMsg msg = link_.b.recv();
             probe_.line = msg.addr;
             probe_.cap = msg.param;
+            probe_.txn = msg.txn;
+            if (sim_.probes().active()) {
+                sim_.probes().begin(
+                    sim_.now(), probe_.txn, "l1.probe", name() + ".probe",
+                    trace::detail::concat("probe 0x", std::hex, msg.addr));
+            }
             // probe_rdy drops the moment the probe arrives (§5.4.1); the
             // flush queue cannot dequeue until the probe completes.
             probe_.state = ProbeUnit::State::InvalidateQueue;
@@ -273,6 +330,7 @@ DataCache::processProbe()
         CMsg ack;
         ack.addr = probe_.line;
         ack.source = id_;
+        ack.txn = probe_.txn;
         if (way < 0) {
             ack.op = COp::ProbeAck;
             ack.param = Shrink::NtoN;
@@ -295,6 +353,11 @@ DataCache::processProbe()
             }
             meta.state = next;
             link_.c.send(ack, TLLink::beatsFor(ack));
+        }
+        if (sim_.probes().active()) {
+            sim_.probes().end(sim_.now(), probe_.txn, "l1.probe",
+                              name() + ".probe",
+                              way < 0 ? "miss ack" : "ack");
         }
         probe_.state = ProbeUnit::State::Idle;
         return;
@@ -483,6 +546,11 @@ DataCache::handleCbo(const CpuReq &req)
         stats_[sp_ + "skipit_dropped"]++;
         SKIPIT_TRACE_LOG(sim_.now(), "flush", name(), " skip-drop 0x",
                          std::hex, line);
+        if (sim_.probes().active()) {
+            sim_.probes().instant(
+                sim_.now(), req.txn, "l1.skipit", name() + ".flushq",
+                trace::detail::concat("skip-drop 0x", std::hex, line));
+        }
         return;
     }
 
@@ -508,6 +576,13 @@ DataCache::handleCbo(const CpuReq &req)
                 e.is_dirty == dirty) {
                 respond(req, 0, cfg_.cbo_accept_latency);
                 stats_[sp_ + "cbo_coalesced"]++;
+                if (sim_.probes().active()) {
+                    sim_.probes().instant(
+                        sim_.now(), req.txn, "l1.coalesce",
+                        name() + ".flushq",
+                        trace::detail::concat("merged into queued txn ",
+                                              e.txn));
+                }
                 return;
             }
             conflict = true;
@@ -518,6 +593,13 @@ DataCache::handleCbo(const CpuReq &req)
                 f.req.is_dirty == dirty) {
                 respond(req, 0, cfg_.cbo_accept_latency);
                 stats_[sp_ + "cbo_coalesced"]++;
+                if (sim_.probes().active()) {
+                    sim_.probes().instant(
+                        sim_.now(), req.txn, "l1.coalesce",
+                        name() + ".flushq",
+                        trace::detail::concat("merged into FSHR txn ",
+                                              f.req.txn));
+                }
                 return;
             }
         }
@@ -543,6 +625,7 @@ DataCache::handleCbo(const CpuReq &req)
     e.is_hit = hit;
     e.is_dirty = dirty;
     e.kind = kind;
+    e.txn = req.txn;
     const bool pushed = flush_q_.tryPush(e);
     SKIPIT_ASSERT(pushed, "flush queue push failed");
     ++flush_counter_;
@@ -552,6 +635,13 @@ DataCache::handleCbo(const CpuReq &req)
                                               : "inval",
                      " 0x", std::hex, line, " hit=", hit, " dirty=",
                      dirty);
+    if (sim_.probes().active()) {
+        sim_.probes().begin(
+            sim_.now(), req.txn, "l1.flushq", name() + ".flushq",
+            trace::detail::concat("cbo.", cboName(kind), " 0x", std::hex,
+                                  line, hit ? " hit" : " miss",
+                                  dirty ? " dirty" : ""));
+    }
     // Buffered: the instruction is ready to commit (§5.2).
     respond(req, 0, cfg_.cbo_accept_latency);
     stats_[sp_ + (kind == CboKind::Clean   ? "cbo_clean_accepted"
@@ -685,6 +775,12 @@ DataCache::missToMshr(const CpuReq &req, Grow grow)
             return false;
         m.rpq.push_back(req);
         stats_[sp_ + "mshr_secondary"]++;
+        if (sim_.probes().active()) {
+            sim_.probes().instant(
+                sim_.now(), req.txn, "l1.mshr.secondary",
+                name() + ".mshr" + std::to_string(existing),
+                trace::detail::concat("piggy-backed on txn ", m.txn));
+        }
         return true;
     }
 
@@ -718,7 +814,14 @@ DataCache::missToMshr(const CpuReq &req, Grow grow)
             wbu_.data = arrays_.data(set, static_cast<unsigned>(victim));
             wbu_.param = shrinkFor(vm.state, ClientState::Nothing);
             wbu_.state = WritebackUnit::State::SendRelease;
+            wbu_.txn = req.txn; // the miss that displaced the victim
             vm = L1Meta{};
+            if (sim_.probes().active()) {
+                sim_.probes().instant(
+                    sim_.now(), req.txn, "l1.evict", name() + ".wbu",
+                    trace::detail::concat("evict 0x", std::hex,
+                                          victim_line));
+            }
             // §5.4.2: evictions invalidate matching flush-queue entries.
             invalidateFlushEntries(victim_line, true);
             stats_[sp_ + "evictions"]++;
@@ -735,7 +838,14 @@ DataCache::missToMshr(const CpuReq &req, Grow grow)
     m.rpq.push_back(req);
     m.fill_set = set;
     m.fill_way = static_cast<unsigned>(fill_way);
+    m.txn = req.txn;
     stats_[sp_ + "mshr_primary"]++;
+    if (sim_.probes().active()) {
+        sim_.probes().begin(
+            sim_.now(), m.txn, "l1.mshr",
+            name() + ".mshr" + std::to_string(free),
+            trace::detail::concat("miss 0x", std::hex, line));
+    }
     return true;
 }
 
@@ -748,6 +858,7 @@ DataCache::issueAcquires()
             msg.addr = m.line;
             msg.param = m.param;
             msg.source = id_;
+            msg.txn = m.txn;
             link_.a.send(msg);
             m.state = L1Mshr::State::AwaitGrant;
         }
@@ -763,11 +874,19 @@ DataCache::tickWbu()
     msg.addr = wbu_.line;
     msg.param = wbu_.param;
     msg.source = id_;
+    msg.txn = wbu_.txn;
     if (wbu_.dirty) {
         msg.op = COp::ReleaseData;
         msg.data = wbu_.data;
     } else {
         msg.op = COp::Release;
+    }
+    if (sim_.probes().active()) {
+        sim_.probes().begin(
+            sim_.now(), wbu_.txn, "l1.wbu", name() + ".wbu",
+            trace::detail::concat(wbu_.dirty ? "ReleaseData 0x"
+                                             : "Release 0x",
+                                  std::hex, wbu_.line));
     }
     link_.c.send(msg, TLLink::beatsFor(msg));
     wbu_.state = WritebackUnit::State::AwaitAck;
@@ -823,6 +942,15 @@ DataCache::flushUnitDequeue()
     Fshr &f = fshrs_[static_cast<unsigned>(chosen)];
     f = Fshr{};
     f.req = flush_q_.pop();
+    if (sim_.probes().active()) {
+        sim_.probes().end(sim_.now(), f.req.txn, "l1.flushq",
+                          name() + ".flushq", "dequeued");
+        sim_.probes().begin(
+            sim_.now(), f.req.txn, "l1.fshr",
+            name() + ".fshr" + std::to_string(chosen),
+            trace::detail::concat("cbo.", cboName(f.req.kind), " 0x",
+                                  std::hex, f.req.addr));
+    }
 
     // Build the execution plan (Figure 7). The interlocks guarantee the
     // snapshot still matches the array: assert it.
@@ -881,6 +1009,8 @@ DataCache::tickFshrs()
             f.state = carries_data ? Fshr::State::FillBuffer
                                    : Fshr::State::RootRelease;
             f.wait_until = sim_.now() + 1;
+            if (sim_.probes().active())
+                emitFshrState(f);
             break;
           }
 
@@ -892,6 +1022,8 @@ DataCache::tickFshrs()
             // (§5.2); the unmodified array needs one word per cycle.
             f.wait_until = sim_.now() +
                 (cfg_.wide_data_array ? 1 : line_bytes / 8);
+            if (sim_.probes().active())
+                emitFshrState(f);
             break;
           }
 
@@ -902,6 +1034,7 @@ DataCache::tickFshrs()
             msg.param = f.report;
             msg.cbo = f.req.kind;
             msg.source = id_;
+            msg.txn = f.req.txn;
             if (f.state == Fshr::State::RootReleaseData) {
                 msg.op = COp::RootReleaseData;
                 msg.data = f.buffer;
@@ -910,6 +1043,8 @@ DataCache::tickFshrs()
             }
             link_.c.send(msg, TLLink::beatsFor(msg));
             f.state = Fshr::State::RootReleaseAck;
+            if (sim_.probes().active())
+                emitFshrState(f);
             break;
           }
 
@@ -936,10 +1071,98 @@ DataCache::completeFshr(Fshr &f)
     }
     SKIPIT_TRACE_LOG(sim_.now(), "flush", name(), " fshr complete 0x",
                      std::hex, f.req.addr);
+    if (sim_.probes().active()) {
+        sim_.probes().end(
+            sim_.now(), f.req.txn, "l1.fshr",
+            name() + ".fshr" + std::to_string(&f - fshrs_.data()),
+            "RootReleaseAck");
+    }
     f = Fshr{};
     SKIPIT_ASSERT(flush_counter_ > 0, "flush counter underflow");
     --flush_counter_;
     stats_[sp_ + "fshr_completions"]++;
+}
+
+void
+DataCache::emitFshrState(const Fshr &f) const
+{
+    sim_.probes().instant(
+        sim_.now(), f.req.txn, "l1.fshr.state",
+        name() + ".fshr" + std::to_string(&f - fshrs_.data()),
+        fshrStateName(f.state));
+}
+
+// ---------------------------------------------------------------------
+// Watchdog interface.
+// ---------------------------------------------------------------------
+
+void
+DataCache::snapshotResources(
+    std::vector<probe::ResourceSnapshot> &out) const
+{
+    for (unsigned i = 0; i < fshrs_.size(); ++i) {
+        const Fshr &f = fshrs_[i];
+        if (!f.busy())
+            continue;
+        probe::ResourceSnapshot snap;
+        snap.name = name() + ".fshr" + std::to_string(i);
+        snap.fingerprint = probe::fingerprint(
+            0, static_cast<std::uint64_t>(f.state), f.req.addr, f.req.txn,
+            f.buffer_filled);
+        snap.txn = f.req.txn;
+        snap.describe = std::string("state=") + fshrStateName(f.state);
+        out.push_back(std::move(snap));
+    }
+    for (unsigned i = 0; i < mshrs_.size(); ++i) {
+        const L1Mshr &m = mshrs_[i];
+        if (!m.valid)
+            continue;
+        probe::ResourceSnapshot snap;
+        snap.name = name() + ".mshr" + std::to_string(i);
+        snap.fingerprint = probe::fingerprint(
+            0, static_cast<std::uint64_t>(m.state), m.line, m.txn,
+            m.rpq.size());
+        snap.txn = m.txn;
+        snap.describe = m.state == L1Mshr::State::AwaitGrant
+                            ? "awaiting grant"
+                            : "awaiting issue";
+        out.push_back(std::move(snap));
+    }
+    if (wbu_.busy()) {
+        probe::ResourceSnapshot snap;
+        snap.name = name() + ".wbu";
+        snap.fingerprint = probe::fingerprint(
+            0, static_cast<std::uint64_t>(wbu_.state), wbu_.line,
+            wbu_.txn);
+        snap.txn = wbu_.txn;
+        snap.describe = wbu_.state == WritebackUnit::State::AwaitAck
+                            ? "awaiting ReleaseAck"
+                            : "sending Release";
+        out.push_back(std::move(snap));
+    }
+    if (probe_.busy()) {
+        probe::ResourceSnapshot snap;
+        snap.name = name() + ".probe";
+        snap.fingerprint = probe::fingerprint(
+            0, static_cast<std::uint64_t>(probe_.state), probe_.line,
+            probe_.txn);
+        snap.txn = probe_.txn;
+        snap.describe = "probe unit busy";
+        out.push_back(std::move(snap));
+    }
+    // The queue entries themselves never change state while queued; their
+    // position does, so a draining queue shows progress and a blocked one
+    // does not.
+    std::size_t pos = 0;
+    for (const FlushQueueEntry &e : flush_q_) {
+        probe::ResourceSnapshot snap;
+        snap.name = name() + ".flushq.txn" + std::to_string(e.txn);
+        snap.fingerprint = probe::fingerprint(0, e.addr, e.txn, pos);
+        snap.txn = e.txn;
+        snap.describe = "queued at position " + std::to_string(pos);
+        out.push_back(std::move(snap));
+        ++pos;
+    }
 }
 
 } // namespace skipit

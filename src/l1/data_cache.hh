@@ -32,7 +32,7 @@ namespace skipit {
  * The per-core L1 data cache. TileLink client of the shared L2; server of
  * its core's LSU via submit()/popResp().
  */
-class DataCache : public Ticked
+class DataCache : public Ticked, public probe::Inspectable
 {
   public:
     /**
@@ -68,6 +68,11 @@ class DataCache : public Ticked
      *  @return false if the line is not resident */
     bool peekWord(Addr addr, std::uint64_t &value) const;
     /// @}
+
+    /** Watchdog interface: fingerprint every busy FSHR / MSHR / WBU /
+     *  probe-unit / flush-queue entry (see sim/watchdog.hh). */
+    void snapshotResources(
+        std::vector<probe::ResourceSnapshot> &out) const override;
 
   private:
     Simulator &sim_;
@@ -133,6 +138,8 @@ class DataCache : public Ticked
      *  or eviction downgraded the line to @p cap equivalent. */
     void invalidateFlushEntries(Addr line, bool fully_invalidated);
     void completeFshr(Fshr &f);
+    /** Emit a probe instant recording @p f's new state. */
+    void emitFshrState(const Fshr &f) const;
     /// @}
 
     /// @name Data helpers

@@ -127,6 +127,7 @@ struct L1Mshr
     std::vector<CpuReq> rpq; //!< primary request plus piggy-backed ones
     unsigned fill_set = 0;   //!< way reserved at allocation for the fill
     unsigned fill_way = 0;
+    TxnId txn = 0;           //!< primary request's transaction id
 
     /** Can @p kind piggy-back given the primary's requested permissions?
      *  The RPQ only accepts secondaries needing perms <= the primary's
@@ -151,6 +152,7 @@ struct WritebackUnit
     LineData data{};
     bool dirty = false;
     Shrink param = Shrink::TtoN;
+    TxnId txn = 0;  //!< transaction whose miss evicted this victim
 
     bool busy() const { return state != State::Idle; }
 
@@ -176,6 +178,7 @@ struct ProbeUnit
     State state = State::Idle;
     Addr line = 0;
     Cap cap = Cap::toN;
+    TxnId txn = 0;  //!< transaction id carried by the probe (BMsg)
 
     bool busy() const { return state != State::Idle; }
 
@@ -194,6 +197,7 @@ struct FlushQueueEntry
     bool is_hit = false;
     bool is_dirty = false;
     CboKind kind = CboKind::Flush; //!< CLEAN / FLUSH / INVAL
+    TxnId txn = 0;     //!< the CBO.X instruction's transaction id
 
     bool isClean() const { return kind == CboKind::Clean; }
 };

@@ -9,6 +9,32 @@ namespace {
 /** Untracked DRAM tags (fire-and-forget victim writebacks) set this bit. */
 constexpr std::uint64_t untracked_bit = std::uint64_t{1} << 63;
 
+const char *
+mshrStateName(int state)
+{
+    switch (state) {
+      case 0:
+        return "idle";
+      case 1:
+        return "dir-lookup";
+      case 2:
+        return "evict-probe";
+      case 3:
+        return "evict-writeback";
+      case 4:
+        return "fetch";
+      case 5:
+        return "probe-holders";
+      case 6:
+        return "mem-writeback";
+      case 7:
+        return "respond";
+      case 8:
+        return "wait-grant-ack";
+    }
+    return "?";
+}
+
 } // namespace
 
 InclusiveCache::InclusiveCache(std::string name, Simulator &sim,
@@ -145,6 +171,7 @@ InclusiveCache::handleRelease(const CMsg &msg)
     ack.op = DOp::ReleaseAck;
     ack.addr = msg.addr;
     ack.dest = msg.source;
+    ack.txn = msg.txn;
     links_[msg.source]->d.send(ack, 1, cfg_.data_latency);
 }
 
@@ -253,6 +280,11 @@ InclusiveCache::acceptChannelE()
                           "GrantAck outside WaitGrantAck");
             if (m.way_locked)
                 dir_.unlockWay(m.set, static_cast<unsigned>(m.way));
+            if (sim_.probes().active()) {
+                sim_.probes().end(sim_.now(), m.txn, "l2.mshr",
+                                  name() + ".mshr" + std::to_string(idx),
+                                  "GrantAck");
+            }
             m.valid = false;
             m.state = Mshr::State::Idle;
         }
@@ -331,7 +363,20 @@ InclusiveCache::tryAllocRootRelease(const CMsg &msg)
     m.set = dir_.setOf(msg.addr);
     m.requester = msg.source;
     m.creq = msg;
+    m.txn = msg.txn;
     m.wait_until = sim_.now() + cfg_.tag_latency;
+    if (sim_.probes().active()) {
+        sim_.probes().begin(
+            sim_.now(), m.txn, "l2.mshr",
+            name() + ".mshr" + std::to_string(idx),
+            trace::detail::concat(
+                "rootrelease.",
+                msg.cbo == CboKind::Flush   ? "flush"
+                : msg.cbo == CboKind::Clean ? "clean"
+                                            : "inval",
+                " 0x", std::hex, msg.addr, " from core", std::dec,
+                msg.source));
+    }
     stats_[msg.cbo == CboKind::Flush   ? "l2.rootrelease.flush"
            : msg.cbo == CboKind::Clean ? "l2.rootrelease.clean"
                                        : "l2.rootrelease.inval"]++;
@@ -360,8 +405,16 @@ InclusiveCache::tryAllocAcquire(const AMsg &msg)
     m.set = dir_.setOf(msg.addr);
     m.requester = msg.source;
     m.areq = msg;
+    m.txn = msg.txn;
     m.wait_until = sim_.now() + cfg_.tag_latency;
     stats_["l2.acquires"]++;
+    if (sim_.probes().active()) {
+        sim_.probes().begin(
+            sim_.now(), m.txn, "l2.mshr",
+            name() + ".mshr" + std::to_string(idx),
+            trace::detail::concat("acquire 0x", std::hex, msg.addr,
+                                  " from core", std::dec, msg.source));
+    }
     return true;
 }
 
@@ -389,6 +442,7 @@ InclusiveCache::startProbes(Mshr &m, Addr line, Cap cap,
         BMsg probe;
         probe.addr = line;
         probe.param = cap;
+        probe.txn = m.txn;
         links_[id]->b.send(probe);
         stats_["l2.probes"]++;
     }
@@ -452,6 +506,8 @@ InclusiveCache::tickMshr(unsigned idx)
                 m.state = Mshr::State::MemWriteback;
             }
             m.wait_until = sim_.now();
+            if (sim_.probes().active())
+                emitMshrState(idx);
             return;
         }
 
@@ -478,6 +534,8 @@ InclusiveCache::tickMshr(unsigned idx)
                 m.state = Mshr::State::Respond;
                 m.wait_until = sim_.now() + cfg_.data_latency;
             }
+            if (sim_.probes().active())
+                emitMshrState(idx);
             return;
         }
 
@@ -522,6 +580,8 @@ InclusiveCache::tickMshr(unsigned idx)
         } else {
             m.state = Mshr::State::Fetch;
         }
+        if (sim_.probes().active())
+            emitMshrState(idx);
         return;
       }
 
@@ -541,6 +601,7 @@ InclusiveCache::tickMshr(unsigned idx)
             req.data = store_.read(m.set,
                                    static_cast<unsigned>(m.victim_way));
             req.tag = dramTagFor(idx, false);
+            req.txn = m.txn;
             ++untracked_tag_;
             dram_.submit(req);
             stats_["l2.victim_writebacks"]++;
@@ -559,9 +620,15 @@ InclusiveCache::tickMshr(unsigned idx)
         req.write = false;
         req.addr = m.line;
         req.tag = dramTagFor(idx, true);
+        req.txn = m.txn;
         dram_.submit(req);
         m.awaiting_dram = true;
         stats_["l2.fills"]++;
+        if (sim_.probes().active()) {
+            sim_.probes().instant(sim_.now(), m.txn, "l2.mshr.state",
+                                  name() + ".mshr" + std::to_string(idx),
+                                  "fetch issued to DRAM");
+        }
         return;
       }
 
@@ -574,6 +641,8 @@ InclusiveCache::tickMshr(unsigned idx)
             m.state = Mshr::State::Respond;
             m.wait_until = sim_.now() + cfg_.data_latency;
         }
+        if (sim_.probes().active())
+            emitMshrState(idx);
         return;
 
       case Mshr::State::MemWriteback: {
@@ -588,6 +657,12 @@ InclusiveCache::tickMshr(unsigned idx)
             stats_["l2.rootrelease.inval_discarded"]++;
             m.state = Mshr::State::Respond;
             m.wait_until = sim_.now();
+            if (sim_.probes().active()) {
+                sim_.probes().instant(
+                    sim_.now(), m.txn, "l2.mshr.state",
+                    name() + ".mshr" + std::to_string(idx),
+                    "inval discarded dirty data");
+            }
             return;
         }
         const bool must_write = e.dirty || !cfg_.llc_skip;
@@ -596,6 +671,12 @@ InclusiveCache::tickMshr(unsigned idx)
             stats_["l2.rootrelease.llc_skipped"]++;
             m.state = Mshr::State::Respond;
             m.wait_until = sim_.now();
+            if (sim_.probes().active()) {
+                sim_.probes().instant(
+                    sim_.now(), m.txn, "l2.llcskip",
+                    name() + ".mshr" + std::to_string(idx),
+                    "clean in LLC: DRAM write skipped");
+            }
             return;
         }
         if (!dram_.canAccept())
@@ -605,9 +686,15 @@ InclusiveCache::tickMshr(unsigned idx)
         req.addr = m.line;
         req.data = store_.read(m.set, static_cast<unsigned>(m.way));
         req.tag = dramTagFor(idx, true);
+        req.txn = m.txn;
         dram_.submit(req);
         m.awaiting_dram = true;
         stats_["l2.rootrelease.mem_writebacks"]++;
+        if (sim_.probes().active()) {
+            sim_.probes().instant(sim_.now(), m.txn, "l2.mshr.state",
+                                  name() + ".mshr" + std::to_string(idx),
+                                  "writeback issued to DRAM");
+        }
         return;
       }
 
@@ -627,8 +714,14 @@ InclusiveCache::tickMshr(unsigned idx)
             ack.op = DOp::RootReleaseAck;
             ack.addr = m.line;
             ack.dest = m.requester;
+            ack.txn = m.txn;
             links_[m.requester]->d.send(ack, 1,
                                         cfg_.rootrelease_ack_latency);
+            if (sim_.probes().active()) {
+                sim_.probes().end(sim_.now(), m.txn, "l2.mshr",
+                                  name() + ".mshr" + std::to_string(idx),
+                                  "RootReleaseAck sent");
+            }
             m.valid = false;
             m.state = Mshr::State::Idle;
             return;
@@ -662,6 +755,7 @@ InclusiveCache::tickMshr(unsigned idx)
         grant.cap = cap;
         grant.data = store_.read(m.set, static_cast<unsigned>(m.way));
         grant.dest = m.requester;
+        grant.txn = m.txn;
         links_[m.requester]->d.send(grant, TLLink::beatsFor(grant));
         stats_[grant.op == DOp::GrantDataDirty ? "l2.grants.dirty"
                                                : "l2.grants.clean"]++;
@@ -675,6 +769,52 @@ InclusiveCache::tickMshr(unsigned idx)
 
       case Mshr::State::WaitGrantAck:
         return; // completion handled in acceptChannelE()
+    }
+}
+
+void
+InclusiveCache::emitMshrState(unsigned idx) const
+{
+    const Mshr &m = mshrs_[idx];
+    sim_.probes().instant(sim_.now(), m.txn, "l2.mshr.state",
+                          name() + ".mshr" + std::to_string(idx),
+                          mshrStateName(static_cast<int>(m.state)));
+}
+
+// ---------------------------------------------------------------------
+// Watchdog interface.
+// ---------------------------------------------------------------------
+
+void
+InclusiveCache::snapshotResources(
+    std::vector<probe::ResourceSnapshot> &out) const
+{
+    for (unsigned i = 0; i < mshrs_.size(); ++i) {
+        const Mshr &m = mshrs_[i];
+        if (!m.valid)
+            continue;
+        probe::ResourceSnapshot snap;
+        snap.name = name() + ".mshr" + std::to_string(i);
+        snap.fingerprint = probe::fingerprint(
+            0, static_cast<std::uint64_t>(m.state), m.line, m.txn,
+            m.pending_acks, m.awaiting_dram);
+        snap.txn = m.txn;
+        snap.describe =
+            std::string("state=") +
+            mshrStateName(static_cast<int>(m.state)) +
+            (m.awaiting_dram ? " awaiting-dram" : "");
+        out.push_back(std::move(snap));
+    }
+    std::size_t pos = 0;
+    for (const CMsg &msg : list_buffer_) {
+        probe::ResourceSnapshot snap;
+        snap.name = name() + ".listbuffer.txn" + std::to_string(msg.txn);
+        snap.fingerprint = probe::fingerprint(0, msg.addr, msg.txn, pos);
+        snap.txn = msg.txn;
+        snap.describe = "buffered RootRelease at position " +
+                        std::to_string(pos);
+        out.push_back(std::move(snap));
+        ++pos;
     }
 }
 

@@ -54,7 +54,7 @@ struct L2Config
  * The inclusive LLC. Acts as TileLink manager to each L1 client link and
  * as client to the DRAM controller.
  */
-class InclusiveCache : public Ticked
+class InclusiveCache : public Ticked, public probe::Inspectable
 {
   public:
     InclusiveCache(std::string name, Simulator &sim, const L2Config &cfg,
@@ -76,6 +76,11 @@ class InclusiveCache : public Ticked
     bool isResident(Addr line_addr) const;
     bool isDirty(Addr line_addr) const;
     /// @}
+
+    /** Watchdog interface: fingerprint every valid MSHR and buffered
+     *  RootRelease (see sim/watchdog.hh). */
+    void snapshotResources(
+        std::vector<probe::ResourceSnapshot> &out) const override;
 
   private:
     /** One L2 transaction in flight. */
@@ -119,6 +124,7 @@ class InclusiveCache : public Ticked
         Cap probe_cap = Cap::toN;
         Cycle wait_until = 0;
         bool awaiting_dram = false;
+        TxnId txn = 0; //!< observability transaction id of the request
     };
 
     Simulator &sim_;
@@ -173,6 +179,9 @@ class InclusiveCache : public Ticked
     std::vector<AgentId> holdersOf(const DirEntry &e, AgentId except) const;
 
     std::uint64_t dramTagFor(unsigned mshr_idx, bool tracked) const;
+
+    /** Emit a probe instant recording MSHR @p idx's new state. */
+    void emitMshrState(unsigned idx) const;
 };
 
 } // namespace skipit

@@ -1,0 +1,107 @@
+#include "histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace skipit {
+
+std::size_t
+Histogram::bucketFor(double v)
+{
+    if (!(v >= 1.0))
+        return 0; // v < 1 and any NaN-ish input land in the first bucket
+    return static_cast<std::size_t>(std::floor(std::log2(v))) + 1;
+}
+
+double
+Histogram::bucketLow(std::size_t bucket)
+{
+    return bucket == 0 ? 0.0 : std::exp2(static_cast<double>(bucket - 1));
+}
+
+double
+Histogram::bucketHigh(std::size_t bucket)
+{
+    return bucket == 0 ? 1.0 : std::exp2(static_cast<double>(bucket));
+}
+
+void
+Histogram::add(double v)
+{
+    SKIPIT_ASSERT(v >= 0, "histogram samples must be non-negative");
+    const std::size_t b = bucketFor(v);
+    if (b >= buckets_.size())
+        buckets_.resize(b + 1, 0);
+    ++buckets_[b];
+    dist_.add(v);
+}
+
+double
+Histogram::mean() const
+{
+    if (dist_.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    return dist_.mean();
+}
+
+double
+Histogram::min() const
+{
+    if (dist_.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    return dist_.min();
+}
+
+double
+Histogram::max() const
+{
+    if (dist_.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    return dist_.max();
+}
+
+std::string
+Histogram::summary() const
+{
+    std::ostringstream os;
+    os << "count=" << count();
+    if (!empty()) {
+        os.precision(1);
+        os << std::fixed << " mean=" << mean() << " p50=" << median()
+           << " p99=" << percentile(99.0) << " max=" << max();
+    }
+    return os.str();
+}
+
+void
+Histogram::renderText(std::ostream &os, const std::string &name) const
+{
+    os << name << ": " << summary() << "\n";
+    if (empty())
+        return;
+    const std::uint64_t peak =
+        *std::max_element(buckets_.begin(), buckets_.end());
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        if (buckets_[b] == 0)
+            continue;
+        constexpr int bar_width = 40;
+        const int bar = static_cast<int>(
+            (buckets_[b] * bar_width + peak - 1) / peak);
+        os << "  [" << bucketLow(b) << ", " << bucketHigh(b) << "): "
+           << std::string(static_cast<std::size_t>(bar), '#') << " "
+           << buckets_[b] << "\n";
+    }
+}
+
+void
+Histogram::clear()
+{
+    buckets_.clear();
+    dist_.clear();
+}
+
+} // namespace skipit

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Log2-bucketed latency histogram with exact percentiles.
+ *
+ * Stage latencies span four orders of magnitude (a 3-cycle L1 hit vs a
+ * ~7000-cycle 32 KiB flush), so buckets double in width: bucket 0 holds
+ * values < 1, bucket i (i >= 1) holds [2^(i-1), 2^i). The raw samples are
+ * also kept in a Distribution so summaries can report exact medians and
+ * tail percentiles, the way the paper reports its microbenchmarks (§7.1).
+ */
+
+#ifndef SKIPIT_SIM_HISTOGRAM_HH
+#define SKIPIT_SIM_HISTOGRAM_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats.hh"
+
+namespace skipit {
+
+/** A log2-bucketed histogram over non-negative samples. */
+class Histogram
+{
+  public:
+    void add(double v);
+
+    std::size_t count() const { return dist_.count(); }
+    bool empty() const { return dist_.empty(); }
+
+    /** Bucket counts; bucket 0 is v < 1, bucket i is [2^(i-1), 2^i). */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /** Inclusive lower bound of @p bucket. */
+    static double bucketLow(std::size_t bucket);
+    /** Exclusive upper bound of @p bucket. */
+    static double bucketHigh(std::size_t bucket);
+
+    /// @name Exact summaries (NaN when empty, like Distribution)
+    /// @{
+    double mean() const;
+    double median() const { return percentile(50.0); }
+    double percentile(double p) const { return dist_.percentile(p); }
+    double min() const;
+    double max() const;
+    /// @}
+
+    const Distribution &samples() const { return dist_; }
+
+    /** One-line summary: count, mean, p50, p99, max. */
+    std::string summary() const;
+
+    /** Multi-line rendering with a bar per bucket. */
+    void renderText(std::ostream &os, const std::string &name) const;
+
+    void clear();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    Distribution dist_;
+
+    static std::size_t bucketFor(double v);
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_SIM_HISTOGRAM_HH

@@ -1,0 +1,64 @@
+#include "probe.hh"
+
+#include <algorithm>
+
+#include "logging.hh"
+
+namespace skipit::probe {
+
+void
+Hub::attach(Sink &sink)
+{
+    SKIPIT_ASSERT(std::find(sinks_.begin(), sinks_.end(), &sink) ==
+                      sinks_.end(),
+                  "probe sink attached twice");
+    sinks_.push_back(&sink);
+}
+
+void
+Hub::detach(Sink &sink)
+{
+    sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), &sink),
+                 sinks_.end());
+}
+
+void
+Hub::emit(const Event &e)
+{
+    for (Sink *s : sinks_)
+        s->onEvent(e);
+}
+
+void
+Hub::begin(Cycle cycle, TxnId txn, const char *stage, std::string track,
+           std::string detail)
+{
+    emit(Event{cycle, 0, txn, Event::Kind::Begin, stage, std::move(track),
+               std::move(detail)});
+}
+
+void
+Hub::end(Cycle cycle, TxnId txn, const char *stage, std::string track,
+         std::string detail)
+{
+    emit(Event{cycle, 0, txn, Event::Kind::End, stage, std::move(track),
+               std::move(detail)});
+}
+
+void
+Hub::instant(Cycle cycle, TxnId txn, const char *stage, std::string track,
+             std::string detail)
+{
+    emit(Event{cycle, 0, txn, Event::Kind::Instant, stage, std::move(track),
+               std::move(detail)});
+}
+
+void
+Hub::span(Cycle cycle, Cycle dur, TxnId txn, const char *stage,
+          std::string track, std::string detail)
+{
+    emit(Event{cycle, dur, txn, Event::Kind::Span, stage, std::move(track),
+               std::move(detail)});
+}
+
+} // namespace skipit::probe

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Transaction-level observability: the probe hub and its sink interface.
+ *
+ * Every memory operation is assigned a transaction id (TxnId) at the LSU;
+ * components along its path (LSU, flush queue, FSHRs, TileLink channels,
+ * L2 MSHRs, DRAM) report timestamped lifecycle events to the Simulator's
+ * ProbeHub. Sinks (TxnTracer, tests) subscribe to the hub; when no sink is
+ * attached every hook costs exactly one predictable branch, so calibrated
+ * cycle counts are unaffected.
+ *
+ * The hub also defines the Inspectable interface used by the stall
+ * Watchdog: components enumerate their busy resources (FSHRs, MSHRs,
+ * flush-queue entries) as fingerprinted snapshots, and the watchdog flags
+ * any resource whose fingerprint stops changing.
+ */
+
+#ifndef SKIPIT_SIM_PROBE_HH
+#define SKIPIT_SIM_PROBE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace skipit::probe {
+
+/** One lifecycle event of one transaction. */
+struct Event
+{
+    /** How the event relates to a stage's duration. */
+    enum class Kind : std::uint8_t
+    {
+        Begin,   //!< the transaction entered @ref stage
+        End,     //!< the transaction left @ref stage (pairs with Begin)
+        Instant, //!< a point event (state transition, drop, nack)
+        Span,    //!< a self-contained interval of @ref dur cycles
+    };
+
+    Cycle cycle = 0;         //!< when the event happened
+    Cycle dur = 0;           //!< Span only: interval length in cycles
+    TxnId txn = 0;           //!< transaction this event belongs to
+    Kind kind = Kind::Instant;
+    const char *stage = "";  //!< latency-histogram key, e.g. "l1.fshr"
+    std::string track;       //!< rendering row, e.g. "core0.l1d.fshr3"
+    std::string detail;      //!< human-readable label / arguments
+};
+
+/** Receives every event emitted while attached to a hub. */
+class Sink
+{
+  public:
+    virtual ~Sink() = default;
+    virtual void onEvent(const Event &e) = 0;
+};
+
+/**
+ * The per-simulator event hub. Components test active() (one branch) and
+ * only build and emit events when a sink is listening. Transaction ids are
+ * handed out unconditionally so that ids are stable whether or not anyone
+ * is observing — attaching a tracer never changes simulated behaviour.
+ */
+class Hub
+{
+  public:
+    /** Is at least one sink attached? Hooks gate on this. */
+    bool active() const { return !sinks_.empty(); }
+
+    void attach(Sink &sink);
+    void detach(Sink &sink);
+
+    /** Allocate the next transaction id (monotonic, never 0). */
+    TxnId newTxn() { return next_txn_++; }
+
+    void emit(const Event &e);
+
+    /// @name Emission helpers (only call when active())
+    /// @{
+    void begin(Cycle cycle, TxnId txn, const char *stage, std::string track,
+               std::string detail = {});
+    void end(Cycle cycle, TxnId txn, const char *stage, std::string track,
+             std::string detail = {});
+    void instant(Cycle cycle, TxnId txn, const char *stage,
+                 std::string track, std::string detail = {});
+    void span(Cycle cycle, Cycle dur, TxnId txn, const char *stage,
+              std::string track, std::string detail = {});
+    /// @}
+
+  private:
+    std::vector<Sink *> sinks_;
+    TxnId next_txn_ = 1;
+};
+
+/**
+ * One busy resource as seen by the watchdog. The fingerprint must change
+ * whenever the resource makes forward progress; equal fingerprints across
+ * scans mean "no state advance".
+ */
+struct ResourceSnapshot
+{
+    std::string name;             //!< stable id, e.g. "core0.l1d.fshr2"
+    std::uint64_t fingerprint = 0;
+    TxnId txn = 0;                //!< transaction occupying the resource
+    std::string describe;         //!< human-readable state summary
+};
+
+/** A component whose busy resources the watchdog can inspect. */
+class Inspectable
+{
+  public:
+    virtual ~Inspectable() = default;
+    /** Append one snapshot per currently-busy resource. */
+    virtual void snapshotResources(std::vector<ResourceSnapshot> &out)
+        const = 0;
+};
+
+/** Order-dependent hash combine for resource fingerprints. */
+constexpr std::uint64_t
+fingerprint(std::uint64_t seed)
+{
+    return seed;
+}
+
+template <typename... Rest>
+constexpr std::uint64_t
+fingerprint(std::uint64_t seed, std::uint64_t v, Rest... rest)
+{
+    // FNV-1a style mixing: cheap, deterministic, order sensitive.
+    seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+    return fingerprint(seed, static_cast<std::uint64_t>(rest)...);
+}
+
+} // namespace skipit::probe
+
+#endif // SKIPIT_SIM_PROBE_HH

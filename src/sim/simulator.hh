@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "probe.hh"
 #include "ticked.hh"
 #include "types.hh"
 
@@ -48,9 +49,18 @@ class Simulator
     Cycle runUntil(const std::function<bool()> &done,
                    Cycle max_cycles = 100'000'000);
 
+    /**
+     * The observability hub: transaction lifecycle events flow through
+     * here to any attached sink. Mutable through const references because
+     * most components hold `const Simulator &` purely for the clock, and
+     * emitting an event never changes simulated state.
+     */
+    probe::Hub &probes() const { return hub_; }
+
   private:
     std::vector<Ticked *> components_;
     Cycle now_ = 0;
+    mutable probe::Hub hub_;
 };
 
 } // namespace skipit

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "logging.hh"
 
@@ -20,8 +21,9 @@ Distribution::mean() const
 double
 Distribution::percentile(double p) const
 {
-    SKIPIT_ASSERT(!samples_.empty(), "percentile of empty distribution");
     SKIPIT_ASSERT(p >= 0 && p <= 100, "percentile out of range");
+    if (samples_.empty())
+        return std::numeric_limits<double>::quiet_NaN();
     std::vector<double> sorted = samples_;
     std::sort(sorted.begin(), sorted.end());
     const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
@@ -66,6 +68,35 @@ void
 Stats::dump(std::ostream &os) const
 {
     for (const auto &[name, value] : counters_)
+        os << name << " = " << value << "\n";
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+Stats::byPrefix(const std::string &prefix) const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (auto it = counters_.lower_bound(prefix); it != counters_.end();
+         ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        out.emplace_back(it->first, it->second);
+    }
+    return out;
+}
+
+std::uint64_t
+Stats::sumPrefix(const std::string &prefix) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[name, value] : byPrefix(prefix))
+        sum += value;
+    return sum;
+}
+
+void
+Stats::dumpPrefix(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &[name, value] : byPrefix(prefix))
         os << name << " = " << value << "\n";
 }
 

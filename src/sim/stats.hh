@@ -14,6 +14,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace skipit {
@@ -27,9 +28,14 @@ class Distribution
     bool empty() const { return samples_.empty(); }
 
     double mean() const;
+    /** Median of the samples; NaN when the distribution is empty. */
     double median() const;
     double stddev() const;
-    /** @param p percentile in [0,100]. */
+    /**
+     * Linearly interpolated percentile of the samples.
+     * @param p percentile in [0,100]
+     * @return NaN when the distribution is empty
+     */
     double percentile(double p) const;
     double min() const;
     double max() const;
@@ -71,6 +77,24 @@ class Stats
     {
         return counters_;
     }
+
+    /// @name Hierarchical queries
+    ///
+    /// Counter names are dot-separated component paths ("core0.l1d.fshr
+    /// allocations" live under "l1.0.", DRAM traffic under "dram.", …),
+    /// so a prefix selects one component subtree.
+    /// @{
+
+    /** All counters whose name starts with @p prefix, in name order. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    byPrefix(const std::string &prefix) const;
+
+    /** Sum of every counter whose name starts with @p prefix. */
+    std::uint64_t sumPrefix(const std::string &prefix) const;
+
+    /** dump() restricted to counters under @p prefix. */
+    void dumpPrefix(std::ostream &os, const std::string &prefix) const;
+    /// @}
 
   private:
     std::map<std::string, std::uint64_t> counters_;

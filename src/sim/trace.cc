@@ -2,20 +2,42 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <mutex>
-#include <set>
 
 namespace skipit::trace {
 
 namespace {
 
+/**
+ * Channel flags live in map nodes, which never move: Channel handles keep
+ * raw pointers to them. "all" is modelled by flipping every registered
+ * flag and remembering the mode for channels registered later.
+ */
 struct TraceState
 {
-    std::set<std::string> channels;
+    std::map<std::string, std::atomic<bool>> channels;
     bool all = false;
     bool env_loaded = false;
     std::ostream *stream = nullptr;
     std::mutex mu;
+
+    std::atomic<bool> &
+    flagFor(const std::string &name)
+    {
+        auto [it, inserted] = channels.try_emplace(name);
+        if (inserted)
+            it->second.store(all, std::memory_order_relaxed);
+        return it->second;
+    }
+
+    void
+    setAll(bool on)
+    {
+        all = on;
+        for (auto &[name, flag] : channels)
+            flag.store(on, std::memory_order_relaxed);
+    }
 
     void
     loadEnvOnce()
@@ -35,9 +57,9 @@ struct TraceState
                                      ? std::string::npos
                                      : comma - pos);
             if (item == "all")
-                all = true;
+                setAll(true);
             else if (!item.empty())
-                channels.insert(item);
+                flagFor(item).store(true, std::memory_order_relaxed);
             if (comma == std::string::npos)
                 break;
             pos = comma + 1;
@@ -54,13 +76,21 @@ state()
 
 } // namespace
 
+Channel::Channel(const std::string &name)
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> g(s.mu);
+    s.loadEnvOnce();
+    flag_ = &s.flagFor(name);
+}
+
 bool
 enabled(const std::string &channel)
 {
     TraceState &s = state();
     std::lock_guard<std::mutex> g(s.mu);
     s.loadEnvOnce();
-    return s.all || s.channels.count(channel) != 0;
+    return s.flagFor(channel).load(std::memory_order_relaxed);
 }
 
 void
@@ -70,9 +100,9 @@ enable(const std::string &channel)
     std::lock_guard<std::mutex> g(s.mu);
     s.env_loaded = true; // explicit config wins over the environment
     if (channel == "all")
-        s.all = true;
+        s.setAll(true);
     else
-        s.channels.insert(channel);
+        s.flagFor(channel).store(true, std::memory_order_relaxed);
 }
 
 void
@@ -81,8 +111,7 @@ disableAll()
     TraceState &s = state();
     std::lock_guard<std::mutex> g(s.mu);
     s.env_loaded = true;
-    s.all = false;
-    s.channels.clear();
+    s.setAll(false);
 }
 
 void

@@ -8,13 +8,16 @@
  *
  *   SKIPIT_TRACE=flush,l2 ./build/examples/quickstart
  *
- * Tracing is off by default and each call sites costs one boolean check
- * when disabled.
+ * Tracing is off by default. The SKIPIT_TRACE_LOG macro caches the
+ * channel lookup in a per-call-site static Channel handle, so each call
+ * site costs one relaxed atomic load when its channel is disabled — the
+ * per-call string map lookup only happens once, at first execution.
  */
 
 #ifndef SKIPIT_SIM_TRACE_HH
 #define SKIPIT_SIM_TRACE_HH
 
+#include <atomic>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -23,7 +26,23 @@
 
 namespace skipit::trace {
 
-/** Is @p channel currently enabled? */
+/**
+ * A cached handle to one channel's enable flag. Construction resolves the
+ * channel name once; enabled() then reads the shared flag directly, so
+ * later enable()/disableAll() calls are still observed. Handles stay
+ * valid for the lifetime of the process.
+ */
+class Channel
+{
+  public:
+    explicit Channel(const std::string &name);
+    bool enabled() const { return flag_->load(std::memory_order_relaxed); }
+
+  private:
+    const std::atomic<bool> *flag_;
+};
+
+/** Is @p channel currently enabled? (uncached; prefer Channel in loops) */
 bool enabled(const std::string &channel);
 
 /** Enable a channel (or "all") programmatically. */
@@ -54,10 +73,16 @@ concat(Args &&...args)
 
 } // namespace skipit::trace
 
-/** Trace an event on @p channel at @p cycle; arguments are streamed. */
+/**
+ * Trace an event on @p channel at @p cycle; arguments are streamed.
+ * @p channel must evaluate to the same name on every execution of a given
+ * call site: the lookup is cached in a function-local static handle.
+ */
 #define SKIPIT_TRACE_LOG(cycle, channel, ...)                               \
     do {                                                                    \
-        if (::skipit::trace::enabled(channel)) {                            \
+        static const ::skipit::trace::Channel skipit_trace_channel_{        \
+            channel};                                                       \
+        if (skipit_trace_channel_.enabled()) {                              \
             ::skipit::trace::emit(                                          \
                 (cycle), (channel),                                         \
                 ::skipit::trace::detail::concat(__VA_ARGS__));              \

@@ -17,6 +17,10 @@ using Cycle = std::uint64_t;
 /** Physical byte address in the simulated machine. */
 using Addr = std::uint64_t;
 
+/** Identifier of one memory-system transaction (assigned at the LSU);
+ *  0 means "no transaction" (background machinery such as evictions). */
+using TxnId = std::uint64_t;
+
 /** Identifier of a hardware agent (core / cache / DRAM port). */
 using AgentId = int;
 

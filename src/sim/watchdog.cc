@@ -1,0 +1,95 @@
+#include "watchdog.hh"
+
+#include <iostream>
+#include <utility>
+
+#include "logging.hh"
+#include "txn_tracer.hh"
+
+namespace skipit {
+
+Watchdog::Watchdog(std::string name, Simulator &sim,
+                   const WatchdogConfig &cfg)
+    : Ticked(std::move(name)), sim_(sim), cfg_(cfg)
+{
+}
+
+void
+Watchdog::watch(const probe::Inspectable &component)
+{
+    components_.push_back(&component);
+}
+
+void
+Watchdog::tick()
+{
+    if (!cfg_.enabled)
+        return;
+    if (sim_.now() < next_scan_)
+        return;
+    next_scan_ = sim_.now() + cfg_.scan_interval;
+    scan();
+}
+
+void
+Watchdog::scan()
+{
+    const Cycle now = sim_.now();
+
+    for (auto &[name, t] : tracked_)
+        t.seen = false;
+
+    scratch_.clear();
+    for (const probe::Inspectable *c : components_)
+        c->snapshotResources(scratch_);
+
+    for (const probe::ResourceSnapshot &snap : scratch_) {
+        Tracked &t = tracked_[snap.name];
+        t.seen = true;
+        if (t.fingerprint != snap.fingerprint) {
+            t.fingerprint = snap.fingerprint;
+            t.since = now;
+            t.reported = false;
+            continue;
+        }
+        if (!t.reported && now - t.since >= cfg_.stall_threshold) {
+            t.reported = true;
+            report(snap, t);
+        }
+    }
+
+    // Resources that went idle (not snapshotted this scan) are forgotten so
+    // a later reoccupation starts a fresh stall window.
+    for (auto it = tracked_.begin(); it != tracked_.end();) {
+        if (!it->second.seen)
+            it = tracked_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Watchdog::report(const probe::ResourceSnapshot &snap, const Tracked &t)
+{
+    const Cycle now = sim_.now();
+    StallRecord rec;
+    rec.resource = snap.name;
+    rec.txn = snap.txn;
+    rec.stuck_since = t.since;
+    rec.reported_at = now;
+    rec.describe = snap.describe;
+    stalls_.push_back(rec);
+
+    std::ostream &os = os_ != nullptr ? *os_ : std::cerr;
+    os << "WATCHDOG: " << snap.name << " stalled for " << (now - t.since)
+       << " cycles (txn " << snap.txn;
+    if (!snap.describe.empty())
+        os << ", " << snap.describe;
+    os << ")\n";
+    if (tracer_ != nullptr && snap.txn != 0) {
+        os << "  transaction " << snap.txn << " history:\n";
+        tracer_->dumpTxn(snap.txn, os, "    ");
+    }
+}
+
+} // namespace skipit

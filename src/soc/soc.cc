@@ -15,7 +15,8 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
 
     for (unsigned c = 0; c < cfg.cores; ++c) {
         const std::string cn = "core" + std::to_string(c);
-        links_.push_back(std::make_unique<TLLink>(sim_, cfg.link_latency));
+        links_.push_back(
+            std::make_unique<TLLink>(sim_, cfg.link_latency, cn + ".tl"));
         l2_->connectClient(static_cast<AgentId>(c), *links_.back());
         l1s_.push_back(std::make_unique<DataCache>(
             cn + ".l1d", sim_, cfg.l1, static_cast<AgentId>(c),
@@ -38,6 +39,13 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
         sim_.add(*lsu);
     for (auto &hart : harts_)
         sim_.add(*hart);
+
+    // The watchdog ticks last so it sees each cycle's settled state.
+    watchdog_ = std::make_unique<Watchdog>("watchdog", sim_, cfg.watchdog);
+    for (auto &l1 : l1s_)
+        watchdog_->watch(*l1);
+    watchdog_->watch(*l2_);
+    sim_.add(*watchdog_);
 }
 
 std::string

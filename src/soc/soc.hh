@@ -20,6 +20,7 @@
 #include "l2/inclusive_cache.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
+#include "sim/watchdog.hh"
 #include "tilelink/link.hh"
 
 namespace skipit {
@@ -34,6 +35,8 @@ struct SoCConfig
     LsuConfig lsu{};
     Cycle link_latency = 3;
     unsigned dispatch_width = 2;
+    /** Stall watchdog (on by default; detection only, zero timing cost). */
+    WatchdogConfig watchdog{};
 
     /** Convenience: toggle every Skip-It-related feature at once. */
     SoCConfig &
@@ -70,6 +73,7 @@ class SoC
     DataCache &l1(unsigned core) { return *l1s_.at(core); }
     InclusiveCache &l2() { return *l2_; }
     Dram &dram() { return *dram_; }
+    Watchdog &watchdog() { return *watchdog_; }
 
     /** Run until every hart's program is done. @return elapsed cycles. */
     Cycle runToCompletion(Cycle max_cycles = 100'000'000);
@@ -90,6 +94,7 @@ class SoC
     std::vector<std::unique_ptr<DataCache>> l1s_;
     std::vector<std::unique_ptr<Lsu>> lsus_;
     std::vector<std::unique_ptr<Hart>> harts_;
+    std::unique_ptr<Watchdog> watchdog_;
 };
 
 } // namespace skipit

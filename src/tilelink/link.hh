@@ -14,6 +14,8 @@
 #define SKIPIT_TILELINK_LINK_HH
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "messages.hh"
 #include "sim/queues.hh"
@@ -30,8 +32,14 @@ template <typename Msg>
 class TLChannel
 {
   public:
-    TLChannel(const Simulator &sim, Cycle latency)
-        : sim_(sim), latency_(latency), q_(sim, latency)
+    /**
+     * @param stage probe stage literal ("tl.a" ... "tl.e")
+     * @param track probe track name, e.g. "core0.tl.a"
+     */
+    TLChannel(const Simulator &sim, Cycle latency,
+              const char *stage = "tl", std::string track = "tl")
+        : sim_(sim), latency_(latency), q_(sim, latency), stage_(stage),
+          track_(std::move(track))
     {
     }
 
@@ -46,6 +54,13 @@ class TLChannel
         const Cycle start = std::max(sim_.now() + extra, busy_until_);
         const Cycle arrival = start + latency_ + beats - 1;
         busy_until_ = start + beats;
+        if (sim_.probes().active()) {
+            // One span per message covering its wire occupancy; a 4-beat
+            // data message renders 4x wider than a header-only one.
+            sim_.probes().span(start, latency_ + beats, m.txn, stage_,
+                               track_,
+                               beats > 1 ? "data beats" : "header");
+        }
         q_.push(std::move(m), arrival - sim_.now());
     }
 
@@ -60,6 +75,8 @@ class TLChannel
     Cycle latency_;
     Cycle busy_until_ = 0;
     DelayQueue<Msg> q_;
+    const char *stage_;
+    std::string track_;
 };
 
 /**
@@ -72,10 +89,14 @@ class TLLink
     /**
      * @param sim     simulator supplying the clock
      * @param latency one-way wire latency per channel, in cycles
+     * @param name    instance name used as the probe track prefix
      */
-    TLLink(const Simulator &sim, Cycle latency = 1)
-        : a(sim, latency), b(sim, latency), c(sim, latency),
-          d(sim, latency), e(sim, latency)
+    TLLink(const Simulator &sim, Cycle latency = 1, std::string name = "tl")
+        : a(sim, latency, "tl.a", name + ".a"),
+          b(sim, latency, "tl.b", name + ".b"),
+          c(sim, latency, "tl.c", name + ".c"),
+          d(sim, latency, "tl.d", name + ".d"),
+          e(sim, latency, "tl.e", name + ".e")
     {
     }
 

@@ -41,6 +41,7 @@ struct AMsg
     Addr addr = 0;           //!< line-aligned address
     Grow param = Grow::NtoB; //!< requested permission growth
     AgentId source = invalid_agent;
+    TxnId txn = 0;           //!< observability transaction id
 };
 
 /** Channel B (manager -> client): coherence probes. */
@@ -48,6 +49,7 @@ struct BMsg
 {
     Addr addr = 0;
     Cap param = Cap::toN; //!< permission cap to apply
+    TxnId txn = 0;        //!< observability transaction id
 };
 
 /** Channel C opcodes (client -> manager). */
@@ -70,6 +72,7 @@ struct CMsg
     CboKind cbo = CboKind::Flush; //!< valid only for RootRelease*
     LineData data{};              //!< valid only for *Data ops
     AgentId source = invalid_agent;
+    TxnId txn = 0;                //!< observability transaction id
 
     bool
     hasData() const
@@ -103,6 +106,7 @@ struct DMsg
     Cap cap = Cap::toB;  //!< permissions granted (Grant*)
     LineData data{};     //!< valid only for GrantData / GrantDataDirty
     AgentId dest = invalid_agent;
+    TxnId txn = 0;       //!< observability transaction id
 
     bool
     hasData() const
@@ -122,6 +126,7 @@ struct EMsg
 {
     Addr addr = 0;
     AgentId source = invalid_agent;
+    TxnId txn = 0;  //!< observability transaction id
 };
 
 } // namespace skipit

@@ -76,6 +76,7 @@ class MockManager : public Ticked
             ack.op = DOp::RootReleaseAck;
             ack.addr = m.addr;
             ack.dest = m.source;
+            ack.txn = m.txn;
             link_.d.send(ack, 1, rootrelease_ack_delay);
         }
         held_.clear();
@@ -95,6 +96,7 @@ class MockManager : public Ticked
             grant.cap = capForGrow(msg.param);
             grant.data = fill_data;
             grant.dest = msg.source;
+            grant.txn = msg.txn;
             link_.d.send(grant, TLLink::beatsFor(grant), grant_delay);
         }
         while (link_.c.ready()) {
@@ -108,6 +110,7 @@ class MockManager : public Ticked
                     ack.op = DOp::RootReleaseAck;
                     ack.addr = msg.addr;
                     ack.dest = msg.source;
+                    ack.txn = msg.txn;
                     link_.d.send(ack, 1, rootrelease_ack_delay);
                 }
             } else if (msg.op == COp::Release ||
@@ -116,6 +119,7 @@ class MockManager : public Ticked
                 ack.op = DOp::ReleaseAck;
                 ack.addr = msg.addr;
                 ack.dest = msg.source;
+                ack.txn = msg.txn;
                 link_.d.send(ack);
             }
             // ProbeAck[Data] only gets recorded.

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "sim/stats.hh"
@@ -34,6 +35,50 @@ TEST(Stats, DumpListsAllCountersSorted)
     std::ostringstream os;
     s.dump(os);
     EXPECT_EQ(os.str(), "a = 2\nz = 1\n");
+}
+
+TEST(Stats, DumpOrderingIsDeterministic)
+{
+    // Insertion order must not leak into the dump: counters print in
+    // lexicographic key order regardless of touch order.
+    Stats a, b;
+    for (const char *k : {"l2.fills", "l1.0.nacks", "dram.reads", "a"})
+        a[k] = 1;
+    for (const char *k : {"a", "dram.reads", "l1.0.nacks", "l2.fills"})
+        b[k] = 1;
+    std::ostringstream oa, ob;
+    a.dump(oa);
+    b.dump(ob);
+    EXPECT_EQ(oa.str(), ob.str());
+    EXPECT_EQ(oa.str(),
+              "a = 1\ndram.reads = 1\nl1.0.nacks = 1\nl2.fills = 1\n");
+}
+
+TEST(Stats, ByPrefixSelectsHierarchically)
+{
+    Stats s;
+    s["l1.0.hits"] = 10;
+    s["l1.0.misses"] = 2;
+    s["l1.1.hits"] = 7;
+    s["l2.hits"] = 5;
+    const auto l1_0 = s.byPrefix("l1.0.");
+    ASSERT_EQ(l1_0.size(), 2u);
+    EXPECT_EQ(l1_0[0].first, "l1.0.hits");
+    EXPECT_EQ(l1_0[1].first, "l1.0.misses");
+    EXPECT_EQ(s.sumPrefix("l1."), 19u);
+    EXPECT_EQ(s.sumPrefix("l2."), 5u);
+    EXPECT_EQ(s.sumPrefix("dram."), 0u);
+    EXPECT_EQ(s.byPrefix("").size(), 4u); // empty prefix matches all
+}
+
+TEST(Stats, DumpPrefixPrintsOnlyMatching)
+{
+    Stats s;
+    s["l1.0.hits"] = 1;
+    s["l2.hits"] = 2;
+    std::ostringstream os;
+    s.dumpPrefix(os, "l2.");
+    EXPECT_EQ(os.str(), "l2.hits = 2\n");
 }
 
 TEST(Distribution, MedianOfOddCount)
@@ -71,6 +116,20 @@ TEST(Distribution, PercentileBounds)
     EXPECT_NEAR(d.percentile(50), 50.5, 1e-9);
     EXPECT_DOUBLE_EQ(d.min(), 1.0);
     EXPECT_DOUBLE_EQ(d.max(), 100.0);
+}
+
+TEST(Distribution, EmptyPercentileAndMedianAreNaN)
+{
+    // Documented contract: querying an empty distribution returns NaN
+    // rather than asserting, so "histogram of a stage that never fired"
+    // is representable.
+    Distribution d;
+    EXPECT_TRUE(std::isnan(d.median()));
+    EXPECT_TRUE(std::isnan(d.percentile(50)));
+    EXPECT_TRUE(std::isnan(d.percentile(0)));
+    EXPECT_TRUE(std::isnan(d.percentile(100)));
+    d.add(1.0);
+    EXPECT_DOUBLE_EQ(d.median(), 1.0); // non-empty works again
 }
 
 } // namespace

@@ -70,5 +70,34 @@ TEST_F(TraceTest, ChannelsAreIndependent)
     EXPECT_EQ(out.str(), "1: l1: yes\n");
 }
 
+TEST_F(TraceTest, ChannelHandleObservesLaterToggles)
+{
+    // The macro caches the channel lookup in a per-call-site static
+    // Channel handle; the handle must still observe enable/disable done
+    // AFTER the first execution resolved it.
+    const auto log = [](Cycle c) {
+        SKIPIT_TRACE_LOG(c, "cached", "tick ", c);
+    };
+    log(1); // resolves the static handle while disabled
+    EXPECT_TRUE(out.str().empty());
+    trace::enable("cached");
+    log(2);
+    trace::disableAll();
+    log(3);
+    trace::enable("cached");
+    log(4);
+    EXPECT_EQ(out.str(), "2: cached: tick 2\n4: cached: tick 4\n");
+}
+
+TEST_F(TraceTest, ChannelHandleSeesAllToggle)
+{
+    trace::Channel ch("some.channel");
+    EXPECT_FALSE(ch.enabled());
+    trace::enable("all");
+    EXPECT_TRUE(ch.enabled());
+    trace::disableAll();
+    EXPECT_FALSE(ch.enabled());
+}
+
 } // namespace
 } // namespace skipit

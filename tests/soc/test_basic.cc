@@ -146,6 +146,7 @@ TEST_F(SocBasic, RemoteFlushWritesBackOtherCoresDirtyData)
     soc->runToQuiescence();
     EXPECT_EQ(soc->dram().peekWord(0x8000), 99u);
     EXPECT_EQ(soc->l1(0).lineState(0x8000), ClientState::Nothing);
+    EXPECT_EQ(soc->watchdog().stallsDetected(), 0u);
 }
 
 TEST_F(SocBasic, FenceWaitsForAllPendingFlushes)
@@ -166,6 +167,7 @@ TEST_F(SocBasic, FenceWaitsForAllPendingFlushes)
                   static_cast<std::uint64_t>(i + 1))
             << "line " << i;
     }
+    EXPECT_EQ(soc->watchdog().stallsDetected(), 0u);
 }
 
 TEST_F(SocBasic, SingleLineFlushLatencyIsAboutHundredCycles)
@@ -209,6 +211,8 @@ TEST_F(SocBasic, CapacityEvictionWritesDirtyLinesBack)
     unsigned idx = 0;
     for (unsigned i = 0; i < lines; i += 97, ++idx)
         EXPECT_EQ(soc->hart(0).loadValue(idx), i + 1) << "line " << i;
+    // The default-on watchdog must have seen steady forward progress.
+    EXPECT_EQ(soc->watchdog().stallsDetected(), 0u);
 }
 
 TEST_F(SocBasic, ProgramOrderStoreThenFlushPersistsNewValue)

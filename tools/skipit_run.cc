@@ -9,7 +9,11 @@
  *   --cores N        number of cores (default: number of programs)
  *   --no-skipit      disable the Skip It skip bit and GrantDataDirty
  *   --trace CH[,CH]  enable trace channels (flush, l1, l2, all)
+ *   --trace-out FILE write a Chrome trace-event JSON of every memory
+ *                    transaction (open in chrome://tracing / Perfetto);
+ *                    also prints per-stage latency histograms with --stats
  *   --stats          dump every counter at the end
+ *   --stats-prefix P restrict --stats output to counters starting with P
  *   --peek ADDR      print the DRAM word at ADDR after the run
  *                    (repeatable)
  *
@@ -32,6 +36,7 @@
 
 #include "core/asm.hh"
 #include "sim/trace.hh"
+#include "sim/txn_tracer.hh"
 #include "soc/soc.hh"
 
 using namespace skipit;
@@ -44,8 +49,9 @@ usage()
     std::fprintf(stderr,
                  "usage: skipit-run [--cores N] [--no-skipit] "
                  "[--trace CH[,CH]] [--stats]\n"
-                 "                  [--describe] [--peek ADDR]... "
-                 "<program.s>...\n");
+                 "                  [--stats-prefix P] "
+                 "[--trace-out FILE] [--describe]\n"
+                 "                  [--peek ADDR]... <program.s>...\n");
 }
 
 std::string
@@ -68,6 +74,8 @@ main(int argc, char **argv)
     bool skip_it = true;
     bool dump_stats = false;
     bool describe = false;
+    std::string trace_out;
+    std::string stats_prefix;
     std::vector<Addr> peeks;
     std::vector<std::string> files;
 
@@ -82,7 +90,17 @@ main(int argc, char **argv)
             std::string ch;
             while (std::getline(ss, ch, ','))
                 trace::enable(ch);
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            trace_out = argv[++i];
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            trace_out = arg.substr(12);
         } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--stats-prefix" && i + 1 < argc) {
+            stats_prefix = argv[++i];
+            dump_stats = true;
+        } else if (arg.rfind("--stats-prefix=", 0) == 0) {
+            stats_prefix = arg.substr(15);
             dump_stats = true;
         } else if (arg == "--describe") {
             describe = true;
@@ -116,6 +134,12 @@ main(int argc, char **argv)
     if (describe)
         std::fputs(cfg.describe().c_str(), stdout);
 
+    TxnTracer tracer;
+    if (!trace_out.empty()) {
+        soc.sim().probes().attach(tracer);
+        soc.watchdog().setTracer(&tracer);
+    }
+
     for (std::size_t i = 0; i < files.size(); ++i)
         soc.hart(static_cast<unsigned>(i))
             .setProgram(assembleProgram(readFile(files[i])));
@@ -131,7 +155,19 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         soc.dram().peekWord(a)));
     }
-    if (dump_stats)
-        soc.stats().dump(std::cout);
+    if (!trace_out.empty() && tracer.writeChromeTraceFile(trace_out)) {
+        std::printf("wrote %zu trace events to %s\n",
+                    tracer.eventCount(), trace_out.c_str());
+    }
+    if (dump_stats) {
+        if (stats_prefix.empty())
+            soc.stats().dump(std::cout);
+        else
+            soc.stats().dumpPrefix(std::cout, stats_prefix);
+        if (!trace_out.empty()) {
+            std::printf("\nper-stage latency histograms (cycles):\n");
+            tracer.dumpHistograms(std::cout);
+        }
+    }
     return 0;
 }
