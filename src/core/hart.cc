@@ -45,6 +45,23 @@ Hart::loadValue(std::size_t op_idx) const
     return lsu_.loadValue(it->second);
 }
 
+Cycle
+Hart::nextWake() const
+{
+    // Mirrors tick()'s early-outs: dispatch resumes once the stall
+    // expires, and anything gated on the LSU (a waiting marker, a full
+    // dispatch window) is woken by the LSU's own activity.
+    const Cycle base = std::max(sim_.now(), stall_until_);
+    if (marker_waiting_)
+        return lsu_.empty() ? base : wake_never;
+    if (pc_ >= program_.size())
+        return wake_never;
+    const MemOpKind k = program_[pc_].kind;
+    if (k == MemOpKind::Delay || k == MemOpKind::Marker)
+        return base; // processed regardless of LSU capacity
+    return lsu_.canDispatch() ? base : wake_never;
+}
+
 void
 Hart::tick()
 {

@@ -27,6 +27,7 @@ class Hart : public Ticked
          unsigned dispatch_width = 2);
 
     void tick() override;
+    Cycle nextWake() const override;
 
     /** Replace the program and restart from its beginning. The LSU must
      *  be empty (run the previous program to completion first). */

@@ -281,6 +281,58 @@ Lsu::fire()
     }
 }
 
+bool
+Lsu::fireableNow(std::size_t idx) const
+{
+    // Keep in lockstep with fire(): any guard added there needs a mirror
+    // here, or fast-forward would sleep through a fireable entry.
+    const Entry &e = window_[idx];
+    if (e.op.kind == MemOpKind::Fence)
+        return olderAllDone(idx) && !dcache_.flushing();
+    if (e.op.kind == MemOpKind::Load) {
+        if (olderFencePending(idx))
+            return false;
+        if (forwardingStore(idx) != nullptr)
+            return true;
+        for (std::size_t j = 0; j < idx; ++j) {
+            const Entry &older = window_[j];
+            if (older.state != EntryState::Done &&
+                older.op.kind != MemOpKind::Load &&
+                sameLine(older.op.addr, e.op.addr)) {
+                return false;
+            }
+        }
+        return true;
+    }
+    return olderAllDone(idx);
+}
+
+Cycle
+Lsu::nextWake() const
+{
+    if (window_.empty())
+        return wake_never;
+    // A pending cache response wakes drainResponses.
+    Cycle wake = dcache_.respWakeAt();
+    if (window_.front().state == EntryState::Done)
+        return sim_.now(); // retire() has work
+    for (std::size_t i = 0; i < window_.size(); ++i) {
+        const Entry &e = window_[i];
+        if (e.state != EntryState::Waiting)
+            continue; // Fired: completion arrives via respWakeAt
+        if (sim_.now() < e.retry_at) {
+            wake = std::min(wake, e.retry_at);
+            continue;
+        }
+        if (fireableNow(i))
+            return sim_.now();
+        // Blocked on another entry or on the flush unit: whatever
+        // unblocks it is itself a tracked wake source (a response, an
+        // LSU fire this cycle, or data-cache activity).
+    }
+    return wake;
+}
+
 void
 Lsu::retire()
 {

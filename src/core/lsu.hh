@@ -51,6 +51,7 @@ class Lsu : public Ticked
         DataCache &dcache, Stats &stats);
 
     void tick() override;
+    Cycle nextWake() const override;
 
     /** Can another op be dispatched this cycle? */
     bool canDispatch() const { return window_.size() < cfg_.window; }
@@ -104,6 +105,8 @@ class Lsu : public Ticked
     void retire();
 
     Entry *entryForTicket(std::uint64_t ticket);
+    /** Would fire() act on entry @p idx this cycle? Mirrors its guards. */
+    bool fireableNow(std::size_t idx) const;
     /** Latest older in-window store writing exactly the load's word. */
     const Entry *forwardingStore(std::size_t load_idx) const;
     bool olderAllDone(std::size_t idx) const;

@@ -31,6 +31,24 @@ Dram::submit(const MemReq &req)
     stats_[req.write ? "dram.writes" : "dram.reads"]++;
 }
 
+Cycle
+Dram::nextWake() const
+{
+    // tick() only issues queued requests; response delivery is the LLC's
+    // concern (see respWakeAt, folded into InclusiveCache::nextWake).
+    if (req_q_.empty())
+        return wake_never;
+    return std::max(sim_.now(), next_issue_);
+}
+
+Cycle
+Dram::respWakeAt() const
+{
+    if (resp_q_.empty())
+        return Ticked::wake_never;
+    return std::max(sim_.now(), resp_q_.frontReadyAt());
+}
+
 void
 Dram::tick()
 {

@@ -69,6 +69,7 @@ class Dram : public Ticked
          Stats &stats);
 
     void tick() override;
+    Cycle nextWake() const override;
 
     /** Can a new request be submitted this cycle? */
     bool canAccept() const;
@@ -77,6 +78,10 @@ class Dram : public Ticked
     void submit(const MemReq &req);
 
     bool respReady() const { return resp_q_.ready(); }
+
+    /** Quiescence: cycle the earliest queued response becomes visible to
+     *  the LLC; wake_never when none is in flight. */
+    Cycle respWakeAt() const;
     MemResp popResp();
     unsigned inflight() const { return inflight_; }
 

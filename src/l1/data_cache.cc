@@ -68,6 +68,50 @@ DataCache::tick()
     issueAcquires();
 }
 
+Cycle
+DataCache::respWakeAt() const
+{
+    if (resp_q_.empty())
+        return Ticked::wake_never;
+    return std::max(sim_.now(), resp_q_.frontReadyAt());
+}
+
+Cycle
+DataCache::nextWake() const
+{
+    const Cycle now = sim_.now();
+
+    // Units that make progress on their own every cycle. The probe unit
+    // is treated as always-active while busy even though CheckConflicts
+    // can spin — conservative, never wrong.
+    if (probe_.busy() || wbu_.state == WritebackUnit::State::SendRelease ||
+        !flush_q_.empty()) {
+        return now;
+    }
+    for (const L1Mshr &m : mshrs_) {
+        // AwaitGrant resolves via channel D, tracked below.
+        if (m.valid && m.state == L1Mshr::State::AwaitIssue)
+            return now;
+    }
+
+    Cycle wake = Ticked::wake_never;
+    for (const Fshr &f : fshrs_) {
+        // RootReleaseAck completes from channel D / the L2's progress.
+        if (!f.busy() || f.state == Fshr::State::RootReleaseAck)
+            continue;
+        wake = std::min(wake, std::max(f.wait_until, now));
+    }
+    if (!in_q_.empty())
+        wake = std::min(wake, std::max(in_q_.frontReadyAt(), now));
+    if (!link_.b.empty())
+        wake = std::min(wake, std::max(link_.b.nextArrival(), now));
+    if (!link_.d.empty())
+        wake = std::min(wake, std::max(link_.d.nextArrival(), now));
+    // resp_q_ is the LSU's wake source (respWakeAt), not ours: delivering
+    // a response is the LSU's tick, this cache's tick ignores it.
+    return wake;
+}
+
 ClientState
 DataCache::lineState(Addr addr) const
 {

@@ -43,6 +43,7 @@ class DataCache : public Ticked, public probe::Inspectable
               AgentId id, TLLink &link, Stats &stats);
 
     void tick() override;
+    Cycle nextWake() const override;
 
     /// @name LSU-facing interface
     /// @{
@@ -50,6 +51,10 @@ class DataCache : public Ticked, public probe::Inspectable
     void submit(const CpuReq &req);
     bool respReady() const { return resp_q_.ready(); }
     CpuResp popResp() { return resp_q_.pop(); }
+
+    /** Quiescence: cycle the earliest queued CPU response becomes visible
+     *  to the LSU; wake_never when none is pending. */
+    Cycle respWakeAt() const;
 
     /** The flushing signal (§5.3 Fences): true while the flush counter is
      *  non-zero, i.e. some CBO.X is pending in the queue or an FSHR. */

@@ -66,6 +66,46 @@ InclusiveCache::tick()
         tickMshr(i);
 }
 
+Cycle
+InclusiveCache::nextWake() const
+{
+    const Cycle now = sim_.now();
+
+    // Buffered RootReleases are retried every cycle (conservative: the
+    // retry may be blocked on a free MSHR, but spinning is always safe).
+    if (!list_buffer_.empty())
+        return now;
+
+    Cycle wake = dram_.respWakeAt(); // drainDramResponses
+    for (const Mshr &m : mshrs_) {
+        if (!m.valid)
+            continue;
+        if (m.state == Mshr::State::WaitGrantAck)
+            continue; // woken by the channel E arrival below
+        if ((m.state == Mshr::State::EvictProbe ||
+             m.state == Mshr::State::ProbeHolders) &&
+            m.pending_acks > 0) {
+            continue; // woken by the ProbeAck arrival on channel C
+        }
+        if (m.awaiting_dram)
+            continue; // woken by the DRAM response above
+        // Every remaining state acts (or re-arms wait_until) once
+        // wait_until passes; !dram_.canAccept() stalls just spin.
+        wake = std::min(wake, std::max(m.wait_until, now));
+    }
+    for (const TLLink *l : links_) {
+        if (l == nullptr)
+            continue;
+        if (!l->a.empty())
+            wake = std::min(wake, std::max(l->a.nextArrival(), now));
+        if (!l->c.empty())
+            wake = std::min(wake, std::max(l->c.nextArrival(), now));
+        if (!l->e.empty())
+            wake = std::min(wake, std::max(l->e.nextArrival(), now));
+    }
+    return wake;
+}
+
 bool
 InclusiveCache::idle() const
 {

@@ -64,6 +64,7 @@ class InclusiveCache : public Ticked, public probe::Inspectable
     void connectClient(AgentId id, TLLink &link);
 
     void tick() override;
+    Cycle nextWake() const override;
 
     /** True when no transaction is in flight (quiesced). */
     bool idle() const;

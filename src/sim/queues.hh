@@ -84,6 +84,18 @@ class DelayQueue
     bool empty() const { return q_.empty(); }
     std::size_t size() const { return q_.size(); }
 
+    /**
+     * Cycle at which the head entry becomes visible; undefined unless
+     * !empty(). Entries ready in FIFO order (asserted in push), so the
+     * head is also the earliest. Used for quiescence wake computation.
+     */
+    Cycle
+    frontReadyAt() const
+    {
+        SKIPIT_ASSERT(!q_.empty(), "frontReadyAt() on empty DelayQueue");
+        return q_.front().ready;
+    }
+
   private:
     struct Entry
     {
@@ -199,6 +211,18 @@ class CompletionBuffer
 
     bool empty() const { return buf_.empty(); }
     std::size_t size() const { return buf_.size(); }
+
+    /**
+     * Earliest completion cycle of any buffered entry; undefined unless
+     * !empty(). Used for quiescence wake computation.
+     */
+    Cycle
+    frontReadyAt() const
+    {
+        SKIPIT_ASSERT(!buf_.empty(),
+                      "frontReadyAt() on empty CompletionBuffer");
+        return buf_.begin()->first;
+    }
 
   private:
     const Simulator &sim_;

@@ -33,7 +33,7 @@ class Simulator
     /** Current simulated cycle (the number of completed cycles). */
     Cycle now() const { return now_; }
 
-    /** Advance the whole machine by exactly one cycle. */
+    /** Advance the whole machine by exactly one cycle (never skips). */
     void step();
 
     /** Advance by @p n cycles. */
@@ -42,12 +42,34 @@ class Simulator
     /**
      * Run until @p done returns true, checking after every cycle.
      *
+     * With fast-forward enabled the predicate must be a pure function of
+     * component state (not of now()): it is only re-evaluated at cycles
+     * where some component can act, which is exactly the set of cycles
+     * where its value can change.
+     *
      * @param done      termination predicate
      * @param max_cycles safety bound; panics if exceeded (deadlock guard)
      * @return the cycle at which @p done first held
      */
     Cycle runUntil(const std::function<bool()> &done,
                    Cycle max_cycles = 100'000'000);
+
+    /**
+     * Enable quiescence fast-forwarding: run()/runUntil() jump the clock
+     * in bulk across stretches where every component's nextWake() lies in
+     * the future. Timing is bit-identical to the ticked baseline (see the
+     * Ticked::nextWake() contract); only wall-clock time changes. Off by
+     * default so that hand-stepped unit fixtures keep their exact
+     * semantics; SoC turns it on via SoCConfig::fast_forward.
+     */
+    void setFastForward(bool on) { fast_forward_ = on; }
+    bool fastForward() const { return fast_forward_; }
+
+    /** True when no component has self-scheduled work pending. */
+    bool quiescent() const { return nextWakeAll() == Ticked::wake_never; }
+
+    /** Cycles skipped (not individually ticked) by fast-forwarding. */
+    Cycle skippedCycles() const { return skipped_; }
 
     /**
      * The observability hub: transaction lifecycle events flow through
@@ -58,8 +80,13 @@ class Simulator
     probe::Hub &probes() const { return hub_; }
 
   private:
+    /** Earliest nextWake() over all components (wake_never when empty). */
+    Cycle nextWakeAll() const;
+
     std::vector<Ticked *> components_;
     Cycle now_ = 0;
+    Cycle skipped_ = 0;
+    bool fast_forward_ = false;
     mutable probe::Hub hub_;
 };
 

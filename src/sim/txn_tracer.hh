@@ -45,6 +45,9 @@ class TxnTracer : public probe::Sink
     /** Total number of recorded events. */
     std::size_t eventCount() const { return events_.size(); }
 
+    /** The full event log in emission order (equivalence testing). */
+    const std::vector<probe::Event> &events() const { return events_; }
+
     /** Print one transaction's event history, one line per event. */
     void dumpTxn(TxnId txn, std::ostream &os,
                  const char *indent = "  ") const;

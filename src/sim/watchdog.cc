@@ -31,6 +31,17 @@ Watchdog::tick()
     scan();
 }
 
+Cycle
+Watchdog::nextWake() const
+{
+    // Scans fire at exactly the same cycles as in the ticked baseline, so
+    // stall detection timing is unchanged; fast-forward jumps are merely
+    // capped at scan_interval while the watchdog is enabled.
+    if (!cfg_.enabled)
+        return wake_never;
+    return std::max(sim_.now(), next_scan_);
+}
+
 void
 Watchdog::scan()
 {

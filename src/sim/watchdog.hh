@@ -69,6 +69,7 @@ class Watchdog : public Ticked
     void setStream(std::ostream *os) { os_ = os; }
 
     void tick() override;
+    Cycle nextWake() const override;
 
     /** Number of distinct stalls reported so far. */
     std::size_t stallsDetected() const { return stalls_.size(); }

@@ -46,6 +46,8 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
         watchdog_->watch(*l1);
     watchdog_->watch(*l2_);
     sim_.add(*watchdog_);
+
+    sim_.setFastForward(cfg.fast_forward);
 }
 
 std::string
@@ -68,7 +70,8 @@ SoCConfig::describe() const
        << "dram: read " << dram.latency << ", write-ack "
        << dram.write_ack_latency << ", issue interval "
        << dram.issue_interval << "\n"
-       << "link latency: " << link_latency << "\n";
+       << "link latency: " << link_latency << "\n"
+       << "fast-forward: " << (fast_forward ? "on" : "off") << "\n";
     return os.str();
 }
 

@@ -37,6 +37,11 @@ struct SoCConfig
     unsigned dispatch_width = 2;
     /** Stall watchdog (on by default; detection only, zero timing cost). */
     WatchdogConfig watchdog{};
+    /** Quiescence fast-forward (on by default): skip the clock across
+     *  provably idle stretches. Bit-identical timing — see the
+     *  Ticked::nextWake() contract — so there is no reason to turn it
+     *  off outside of equivalence tests. */
+    bool fast_forward = true;
 
     /** Convenience: toggle every Skip-It-related feature at once. */
     SoCConfig &

@@ -70,6 +70,9 @@ class TLChannel
     bool empty() const { return q_.empty(); }
     std::size_t inFlight() const { return q_.size(); }
 
+    /** Arrival cycle of the in-flight head; undefined unless !empty(). */
+    Cycle nextArrival() const { return q_.frontReadyAt(); }
+
   private:
     const Simulator &sim_;
     Cycle latency_;

@@ -1,0 +1,658 @@
+#include "sweep.hh"
+
+#include <atomic>
+#include <cctype>
+#include <stdexcept>
+#include <thread>
+
+#include "workloads.hh"
+
+namespace skipit::workloads {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &msg)
+{
+    throw std::runtime_error(msg);
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON-subset parser (objects, arrays, strings, numbers, bools).
+// Hand-rolled to keep the tool dependency-free; object key order is
+// preserved because it defines the grid expansion order.
+// ---------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    std::string text; //!< raw token for numbers, decoded for strings
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> fields;
+
+    const JsonValue *
+    field(const std::string &name) const
+    {
+        for (const auto &[key, value] : fields) {
+            if (key == name)
+                return &value;
+        }
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("sweep spec: trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw std::runtime_error(msg + " (at offset " +
+                                 std::to_string(pos_) + ")");
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("sweep spec: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("sweep spec: expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+          case 'f':
+            return parseBool();
+          case 'n':
+            parseLiteral("null");
+            return JsonValue{};
+          default:
+            return parseNumber();
+        }
+    }
+
+    void
+    parseLiteral(const char *lit)
+    {
+        for (const char *p = lit; *p != '\0'; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(std::string("sweep spec: expected '") + lit + "'");
+            ++pos_;
+        }
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Bool;
+        if (text_[pos_] == 't') {
+            parseLiteral("true");
+            v.boolean = true;
+        } else {
+            parseLiteral("false");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.type = JsonValue::Type::String;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("sweep spec: dangling escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"':
+                  case '\\':
+                  case '/':
+                    c = e;
+                    break;
+                  case 'n':
+                    c = '\n';
+                    break;
+                  case 't':
+                    c = '\t';
+                    break;
+                  default:
+                    fail("sweep spec: unsupported string escape");
+                }
+            }
+            v.text.push_back(c);
+        }
+        expect('"');
+        return v;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        const std::size_t start = pos_;
+        consume('-');
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            fail("sweep spec: expected a value");
+        v.text = text_.substr(start, pos_ - start);
+        return v;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.type = JsonValue::Type::Array;
+        if (consume(']'))
+            return v;
+        for (;;) {
+            v.items.push_back(parseValue());
+            if (consume(']'))
+                return v;
+            expect(',');
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        if (consume('}'))
+            return v;
+        for (;;) {
+            const JsonValue key = parseString();
+            expect(':');
+            v.fields.emplace_back(key.text, parseValue());
+            if (consume('}'))
+                return v;
+            expect(',');
+        }
+    }
+};
+
+/** An axis value token as a string (numbers verbatim, bools as 0/1). */
+std::string
+scalarToken(const JsonValue &v)
+{
+    switch (v.type) {
+      case JsonValue::Type::String:
+      case JsonValue::Type::Number:
+        return v.text;
+      case JsonValue::Type::Bool:
+        return v.boolean ? "1" : "0";
+      default:
+        fail("sweep spec: axis values must be scalars");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value parsing.
+// ---------------------------------------------------------------------
+
+std::uint64_t
+parseU64(const std::string &name, const std::string &token)
+{
+    try {
+        std::size_t used = 0;
+        const std::uint64_t v = std::stoull(token, &used, 0);
+        if (used != token.size())
+            fail("");
+        return v;
+    } catch (const std::exception &) {
+        fail("sweep: axis '" + name + "': '" + token +
+             "' is not an unsigned integer");
+    }
+}
+
+double
+parseF64(const std::string &name, const std::string &token)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(token, &used);
+        if (used != token.size())
+            fail("");
+        return v;
+    } catch (const std::exception &) {
+        fail("sweep: axis '" + name + "': '" + token +
+             "' is not a number");
+    }
+}
+
+bool
+parseFlag(const std::string &name, const std::string &token)
+{
+    if (token == "1" || token == "true" || token == "on")
+        return true;
+    if (token == "0" || token == "false" || token == "off")
+        return false;
+    fail("sweep: axis '" + name + "': '" + token +
+         "' is not a boolean (use 0/1)");
+}
+
+// ---------------------------------------------------------------------
+// Per-kind parameter models.
+// ---------------------------------------------------------------------
+
+enum class Kind { Cbo, Wwr, Redundant, Throughput };
+
+Kind
+parseKind(const std::string &kind)
+{
+    if (kind == "cbo")
+        return Kind::Cbo;
+    if (kind == "wwr")
+        return Kind::Wwr;
+    if (kind == "redundant")
+        return Kind::Redundant;
+    if (kind == "throughput")
+        return Kind::Throughput;
+    fail("sweep: unknown kind '" + kind +
+         "' (expected cbo, wwr, redundant or throughput)");
+}
+
+/** Parameters of the cycle-model kinds (cbo / wwr / redundant). */
+struct CycleParams
+{
+    SoCConfig cfg{};
+    unsigned threads = 1;
+    std::size_t bytes = 4096;
+    bool flush = true;
+};
+
+void
+applyCycleParam(CycleParams &p, const std::string &name,
+                const std::string &token)
+{
+    if (name == "threads")
+        p.threads = static_cast<unsigned>(parseU64(name, token));
+    else if (name == "bytes")
+        p.bytes = static_cast<std::size_t>(parseU64(name, token));
+    else if (name == "flush")
+        p.flush = parseFlag(name, token);
+    else if (name == "skipit")
+        p.cfg.withSkipIt(parseFlag(name, token));
+    else if (name == "coalesce")
+        p.cfg.l1.coalesce = parseFlag(name, token);
+    else if (name == "cross_kind_coalesce")
+        p.cfg.l1.cross_kind_coalesce = parseFlag(name, token);
+    else if (name == "wide_data_array")
+        p.cfg.l1.wide_data_array = parseFlag(name, token);
+    else if (name == "fshrs")
+        p.cfg.l1.fshrs = static_cast<unsigned>(parseU64(name, token));
+    else if (name == "flush_queue_depth")
+        p.cfg.l1.flush_queue_depth =
+            static_cast<unsigned>(parseU64(name, token));
+    else if (name == "mshrs")
+        p.cfg.l1.mshrs = static_cast<unsigned>(parseU64(name, token));
+    else if (name == "llc_skip")
+        p.cfg.l2.llc_skip = parseFlag(name, token);
+    else if (name == "grant_data_dirty")
+        p.cfg.l2.grant_data_dirty = parseFlag(name, token);
+    else if (name == "dram_latency")
+        p.cfg.dram.latency = parseU64(name, token);
+    else if (name == "link_latency")
+        p.cfg.link_latency = parseU64(name, token);
+    else if (name == "fast_forward")
+        p.cfg.fast_forward = parseFlag(name, token);
+    else
+        fail("sweep: unknown axis '" + name + "' for a cycle-model kind");
+}
+
+/** Parameters of the throughput kind. */
+struct ThroughputParams
+{
+    DsKind ds = DsKind::Bst;
+    FlushPolicy policy = FlushPolicy::SkipIt;
+    PersistMode mode = PersistMode::Automatic;
+    double update_pct = 5.0;
+    unsigned threads = 2;
+    Cycle budget = 400'000;
+    std::size_t flit_entries = std::size_t{1} << 16;
+    std::uint64_t seed = 0;
+    bool seed_set = false;
+};
+
+DsKind
+parseDs(const std::string &token)
+{
+    if (token == "list")
+        return DsKind::List;
+    if (token == "hashtable" || token == "hash")
+        return DsKind::HashTable;
+    if (token == "bst")
+        return DsKind::Bst;
+    if (token == "skiplist")
+        return DsKind::SkipList;
+    fail("sweep: unknown ds '" + token +
+         "' (expected list, hashtable, bst or skiplist)");
+}
+
+FlushPolicy
+parsePolicy(const std::string &token)
+{
+    if (token == "plain")
+        return FlushPolicy::Plain;
+    if (token == "flit-adjacent")
+        return FlushPolicy::FlitAdjacent;
+    if (token == "flit-hashtable")
+        return FlushPolicy::FlitHashTable;
+    if (token == "link-and-persist")
+        return FlushPolicy::LinkAndPersist;
+    if (token == "skip-it")
+        return FlushPolicy::SkipIt;
+    fail("sweep: unknown policy '" + token + "'");
+}
+
+PersistMode
+parseMode(const std::string &token)
+{
+    if (token == "non-persistent")
+        return PersistMode::NonPersistent;
+    if (token == "automatic")
+        return PersistMode::Automatic;
+    if (token == "nvtraverse")
+        return PersistMode::NvTraverse;
+    if (token == "manual")
+        return PersistMode::Manual;
+    fail("sweep: unknown mode '" + token + "'");
+}
+
+void
+applyThroughputParam(ThroughputParams &p, const std::string &name,
+                     const std::string &token)
+{
+    if (name == "ds")
+        p.ds = parseDs(token);
+    else if (name == "policy")
+        p.policy = parsePolicy(token);
+    else if (name == "mode")
+        p.mode = parseMode(token);
+    else if (name == "update_pct")
+        p.update_pct = parseF64(name, token);
+    else if (name == "threads")
+        p.threads = static_cast<unsigned>(parseU64(name, token));
+    else if (name == "budget")
+        p.budget = parseU64(name, token);
+    else if (name == "flit_entries")
+        p.flit_entries = static_cast<std::size_t>(parseU64(name, token));
+    else if (name == "seed") {
+        p.seed = parseU64(name, token);
+        p.seed_set = true;
+    } else {
+        fail("sweep: unknown axis '" + name + "' for kind throughput");
+    }
+}
+
+std::vector<std::string>
+resultColumns(Kind kind)
+{
+    if (kind == Kind::Throughput)
+        return {"mops_per_mcycle", "ops", "flushes", "skipped_l1"};
+    return {"cycles"};
+}
+
+/** Execute one grid point and return its result cells. */
+std::vector<ReportValue>
+runPoint(const SweepSpec &spec, Kind kind, const SweepPoint &pt)
+{
+    if (kind == Kind::Throughput) {
+        ThroughputParams p;
+        for (const auto &[name, token] : pt.params)
+            applyThroughputParam(p, name, token);
+        if (!p.seed_set)
+            p.seed = spec.seed + pt.index;
+        // Some combinations don't exist (link-and-persist needs spare
+        // pointer bits the BST doesn't have); keep the grid rectangular
+        // and mark the row rather than failing the whole sweep.
+        if (!applicable(p.ds, p.policy))
+            return {std::string("n/a"), std::string("n/a"),
+                    std::string("n/a"), std::string("n/a")};
+        const ThroughputResult r =
+            runThroughput(p.ds, p.policy, p.mode, p.update_pct, p.threads,
+                          p.budget, p.flit_entries, p.seed);
+        return {r.mops_per_mcycle, r.ops, r.flushes, r.skipped_l1};
+    }
+
+    CycleParams p;
+    for (const auto &[name, token] : pt.params)
+        applyCycleParam(p, name, token);
+    Cycle cycles = 0;
+    switch (kind) {
+      case Kind::Cbo:
+        cycles = cboLatency(p.cfg, p.threads, p.bytes, p.flush);
+        break;
+      case Kind::Wwr:
+        cycles = writeWbReadLatency(p.cfg, p.threads, p.bytes, p.flush);
+        break;
+      default:
+        cycles = redundantWbLatency(p.cfg, p.threads, p.bytes, p.flush);
+        break;
+    }
+    return {static_cast<std::uint64_t>(cycles)};
+}
+
+/** Reject unknown axis names / unparsable values before spawning work. */
+void
+validateAxes(const SweepSpec &spec, Kind kind)
+{
+    for (const SweepAxis &axis : spec.axes) {
+        if (axis.values.empty())
+            fail("sweep: axis '" + axis.name + "' has no values");
+        for (const std::string &token : axis.values) {
+            if (kind == Kind::Throughput) {
+                ThroughputParams scratch;
+                applyThroughputParam(scratch, axis.name, token);
+            } else {
+                CycleParams scratch;
+                applyCycleParam(scratch, axis.name, token);
+            }
+        }
+    }
+}
+
+} // namespace
+
+SweepSpec
+SweepSpec::fromJsonText(const std::string &text)
+{
+    const JsonValue doc = JsonParser(text).parse();
+    if (doc.type != JsonValue::Type::Object)
+        fail("sweep spec: top level must be a JSON object");
+
+    SweepSpec spec;
+    for (const auto &[key, value] : doc.fields) {
+        if (key == "kind") {
+            if (value.type != JsonValue::Type::String)
+                fail("sweep spec: \"kind\" must be a string");
+            spec.kind = value.text;
+        } else if (key == "seed") {
+            if (value.type != JsonValue::Type::Number)
+                fail("sweep spec: \"seed\" must be a number");
+            spec.seed = parseU64("seed", value.text);
+        } else if (key == "axes") {
+            if (value.type != JsonValue::Type::Object)
+                fail("sweep spec: \"axes\" must be an object");
+            for (const auto &[axis_name, axis_values] : value.fields) {
+                SweepAxis axis;
+                axis.name = axis_name;
+                if (axis_values.type == JsonValue::Type::Array) {
+                    for (const JsonValue &v : axis_values.items)
+                        axis.values.push_back(scalarToken(v));
+                } else {
+                    axis.values.push_back(scalarToken(axis_values));
+                }
+                spec.axes.push_back(std::move(axis));
+            }
+        } else {
+            fail("sweep spec: unknown key \"" + key + "\"");
+        }
+    }
+    return spec;
+}
+
+std::vector<SweepPoint>
+expandGrid(const SweepSpec &spec)
+{
+    std::size_t total = 1;
+    for (const SweepAxis &axis : spec.axes) {
+        if (axis.values.empty())
+            fail("sweep: axis '" + axis.name + "' has no values");
+        total *= axis.values.size();
+    }
+
+    std::vector<SweepPoint> points;
+    points.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        SweepPoint pt;
+        pt.index = i;
+        // Mixed-radix decomposition, last axis varying fastest.
+        std::size_t rem = i;
+        std::size_t radix = total;
+        for (const SweepAxis &axis : spec.axes) {
+            radix /= axis.values.size();
+            const std::size_t digit = rem / radix;
+            rem %= radix;
+            pt.params.emplace_back(axis.name, axis.values[digit]);
+        }
+        points.push_back(std::move(pt));
+    }
+    return points;
+}
+
+ReportTable
+runSweep(const SweepSpec &spec, unsigned jobs)
+{
+    const Kind kind = parseKind(spec.kind);
+    validateAxes(spec, kind);
+    const std::vector<SweepPoint> points = expandGrid(spec);
+
+    std::vector<std::vector<ReportValue>> rows(points.size());
+    std::vector<std::string> errors(points.size());
+    std::atomic<std::size_t> next{0};
+
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= points.size())
+                return;
+            try {
+                rows[i] = runPoint(spec, kind, points[i]);
+            } catch (const std::exception &e) {
+                errors[i] = e.what();
+            }
+        }
+    };
+
+    jobs = std::max(1u, jobs);
+    if (jobs <= 1 || points.size() <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        const unsigned n =
+            static_cast<unsigned>(std::min<std::size_t>(jobs,
+                                                        points.size()));
+        pool.reserve(n);
+        for (unsigned t = 0; t < n; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!errors[i].empty()) {
+            fail("sweep: run " + std::to_string(i) + " failed: " +
+                 errors[i]);
+        }
+    }
+
+    std::vector<std::string> columns;
+    for (const SweepAxis &axis : spec.axes)
+        columns.push_back(axis.name);
+    for (std::string &c : resultColumns(kind))
+        columns.push_back(std::move(c));
+
+    ReportTable table("sweep: " + spec.kind, columns);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        std::vector<ReportValue> row;
+        row.reserve(columns.size());
+        for (const auto &[axis_name, token] : points[i].params)
+            row.emplace_back(token);
+        for (ReportValue &v : rows[i])
+            row.push_back(std::move(v));
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+} // namespace skipit::workloads

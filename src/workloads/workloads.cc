@@ -171,8 +171,12 @@ applicable(DsKind k, FlushPolicy p)
 ThroughputResult
 runThroughput(DsKind kind, FlushPolicy policy, PersistMode mode,
               double update_pct, unsigned threads, Cycle budget,
-              std::size_t flit_entries)
+              std::size_t flit_entries, std::uint64_t seed)
 {
+    // Each seed shifts every stream by a large odd constant so streams
+    // from different seeds never collide; seed 0 keeps the historical
+    // Rng(7) / Rng(100 + t) values exactly.
+    const std::uint64_t seed_base = seed * 0x9e3779b97f4a7c15ULL;
     MemSim mem(PersistCtx::machineFor(policy));
     PersistConfig pcfg;
     pcfg.policy = policy;
@@ -185,7 +189,7 @@ runThroughput(DsKind kind, FlushPolicy policy, PersistMode mode,
     // so setup cost is excluded from the measurement.
     const std::uint64_t range = keyRange(kind);
     {
-        Rng rng(7);
+        Rng rng(7 + seed_base);
         for (std::uint64_t i = 0; i < range / 2; ++i)
             set->insert(0, 1 + rng.below(range));
     }
@@ -195,7 +199,7 @@ runThroughput(DsKind kind, FlushPolicy policy, PersistMode mode,
     std::vector<std::thread> workers;
     for (unsigned t = 0; t < threads; ++t) {
         workers.emplace_back([&, t] {
-            Rng rng(100 + t);
+            Rng rng(100 + seed_base + t);
             const Cycle base = mem.clock(t);
             while (mem.clock(t) - base < budget) {
                 const std::uint64_t key = 1 + rng.below(range);

@@ -85,13 +85,18 @@ struct ThroughputResult
  * Run the §7.4 workload: @p threads threads performing a lookup/update
  * mix over the structure's key range until every thread's simulated
  * clock passes @p budget cycles. Updates split 50/50 insert/delete.
+ *
+ * @param seed offsets every RNG stream (prefill and per-worker), so
+ *             sweep repetitions draw independent key sequences; seed 0
+ *             reproduces the historical fixed streams
  */
 ThroughputResult runThroughput(DsKind kind, FlushPolicy policy,
                                PersistMode mode, double update_pct,
                                unsigned threads = 2,
                                Cycle budget = 400'000,
                                std::size_t flit_entries = std::size_t{1}
-                                                          << 16);
+                                                          << 16,
+                               std::uint64_t seed = 0);
 
 } // namespace skipit::workloads
 

@@ -1,0 +1,19 @@
+# Run skipit-sweep on a fixed 2x2 mini-grid with two workers and diff
+# the CSV against the checked-in golden copy. Invoked by ctest; see
+# tests/CMakeLists.txt (cli_sweep_golden).
+
+execute_process(
+    COMMAND ${SWEEP_BIN} --kind cbo
+            --axis threads=1,2 --axis bytes=256,1024
+            -j2 -o ${OUT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "skipit-sweep exited with ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "sweep output differs from golden ${GOLDEN}")
+endif()

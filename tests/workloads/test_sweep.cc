@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The parallel experiment runner: grid expansion order, JSON spec
+ * parsing, result correctness against direct measurement calls, and
+ * byte-identical CSV output regardless of worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "workloads/sweep.hh"
+#include "workloads/workloads.hh"
+
+using namespace skipit;
+using workloads::SweepAxis;
+using workloads::SweepSpec;
+using workloads::SweepPoint;
+
+namespace {
+
+std::string
+csvOf(const ReportTable &t)
+{
+    std::ostringstream os;
+    t.renderCsv(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(SweepGrid, ExpandsCartesianProductLastAxisFastest)
+{
+    SweepSpec spec;
+    spec.axes = {{"threads", {"1", "2"}}, {"bytes", {"64", "128", "256"}}};
+
+    const std::vector<SweepPoint> pts = workloads::expandGrid(spec);
+    ASSERT_EQ(pts.size(), 6u);
+    EXPECT_EQ(pts[0].params[0].second, "1");
+    EXPECT_EQ(pts[0].params[1].second, "64");
+    EXPECT_EQ(pts[1].params[1].second, "128");
+    EXPECT_EQ(pts[2].params[1].second, "256");
+    EXPECT_EQ(pts[3].params[0].second, "2");
+    EXPECT_EQ(pts[3].params[1].second, "64");
+    EXPECT_EQ(pts[5].params[0].second, "2");
+    EXPECT_EQ(pts[5].params[1].second, "256");
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        EXPECT_EQ(pts[i].index, i);
+}
+
+TEST(SweepGrid, EmptyAxesYieldOnePoint)
+{
+    SweepSpec spec;
+    EXPECT_EQ(workloads::expandGrid(spec).size(), 1u);
+}
+
+TEST(SweepSpecJson, ParsesKindSeedAndAxesInOrder)
+{
+    const SweepSpec spec = SweepSpec::fromJsonText(R"({
+        "kind": "redundant",
+        "seed": 42,
+        "axes": { "threads": [1, 8], "bytes": [64], "flush": [true] }
+    })");
+    EXPECT_EQ(spec.kind, "redundant");
+    EXPECT_EQ(spec.seed, 42u);
+    ASSERT_EQ(spec.axes.size(), 3u);
+    EXPECT_EQ(spec.axes[0].name, "threads");
+    EXPECT_EQ(spec.axes[0].values, (std::vector<std::string>{"1", "8"}));
+    EXPECT_EQ(spec.axes[1].name, "bytes");
+    EXPECT_EQ(spec.axes[2].values, (std::vector<std::string>{"1"}));
+}
+
+TEST(SweepSpecJson, ScalarAxisValueBecomesSingletonAxis)
+{
+    const SweepSpec spec = SweepSpec::fromJsonText(
+        R"({"axes": {"bytes": 4096}})");
+    ASSERT_EQ(spec.axes.size(), 1u);
+    EXPECT_EQ(spec.axes[0].values,
+              (std::vector<std::string>{"4096"}));
+}
+
+TEST(SweepSpecJson, RejectsMalformedInput)
+{
+    EXPECT_THROW(SweepSpec::fromJsonText("[]"), std::runtime_error);
+    EXPECT_THROW(SweepSpec::fromJsonText("{\"kind\": }"),
+                 std::runtime_error);
+    EXPECT_THROW(SweepSpec::fromJsonText("{\"bogus\": 1}"),
+                 std::runtime_error);
+    EXPECT_THROW(SweepSpec::fromJsonText(
+                     R"({"axes": {"threads": [[1]]}})"),
+                 std::runtime_error);
+    EXPECT_THROW(SweepSpec::fromJsonText("{} trailing"),
+                 std::runtime_error);
+}
+
+TEST(SweepRun, UnknownAxisOrKindIsRejectedUpfront)
+{
+    SweepSpec spec;
+    spec.kind = "nonsense";
+    EXPECT_THROW(workloads::runSweep(spec, 1), std::runtime_error);
+
+    spec.kind = "cbo";
+    spec.axes = {{"frobnicate", {"1"}}};
+    EXPECT_THROW(workloads::runSweep(spec, 1), std::runtime_error);
+
+    spec.axes = {{"threads", {"banana"}}};
+    EXPECT_THROW(workloads::runSweep(spec, 1), std::runtime_error);
+}
+
+TEST(SweepRun, CboPointMatchesDirectMeasurement)
+{
+    SweepSpec spec;
+    spec.kind = "cbo";
+    spec.axes = {{"threads", {"2"}},
+                 {"bytes", {"1024"}},
+                 {"flush", {"1"}}};
+
+    const ReportTable table = workloads::runSweep(spec, 1);
+    ASSERT_EQ(table.rows(), 1u);
+    ASSERT_EQ(table.columns(), 4u);
+
+    const Cycle direct = workloads::cboLatency(SoCConfig{}, 2, 1024, true);
+    EXPECT_EQ(std::get<std::uint64_t>(table.at(0, 3)), direct);
+}
+
+TEST(SweepRun, ParallelRunsRenderByteIdenticalCsv)
+{
+    SweepSpec spec;
+    spec.kind = "cbo";
+    spec.axes = {{"threads", {"1", "2"}},
+                 {"bytes", {"256", "1024"}},
+                 {"flush", {"0", "1"}}};
+
+    const std::string serial = csvOf(workloads::runSweep(spec, 1));
+    const std::string j4_a = csvOf(workloads::runSweep(spec, 4));
+    const std::string j4_b = csvOf(workloads::runSweep(spec, 4));
+    EXPECT_EQ(serial, j4_a);
+    EXPECT_EQ(j4_a, j4_b);
+    // 8 rows + header.
+    EXPECT_EQ(workloads::runSweep(spec, 4).rows(), 8u);
+}
+
+TEST(SweepRun, AblationAxesReachTheConfig)
+{
+    // skipit=0 vs 1 must produce different redundant-writeback latencies
+    // (that is the paper's whole point), which proves the axis lands in
+    // the SoC configuration.
+    SweepSpec spec;
+    spec.kind = "redundant";
+    spec.axes = {{"skipit", {"0", "1"}},
+                 {"threads", {"1"}},
+                 {"bytes", {"2048"}},
+                 {"flush", {"0"}}};
+
+    const ReportTable table = workloads::runSweep(spec, 2);
+    ASSERT_EQ(table.rows(), 2u);
+    const auto off = std::get<std::uint64_t>(table.at(0, 4));
+    const auto on = std::get<std::uint64_t>(table.at(1, 4));
+    EXPECT_LT(on, off);
+}
+
+TEST(SweepRun, ThroughputKindProducesPlausibleRows)
+{
+    SweepSpec spec;
+    spec.kind = "throughput";
+    spec.axes = {{"ds", {"list"}},
+                 {"policy", {"skip-it"}},
+                 {"mode", {"automatic"}},
+                 {"update_pct", {"5"}},
+                 {"threads", {"1"}},
+                 {"budget", {"20000"}}};
+
+    const ReportTable table = workloads::runSweep(spec, 1);
+    ASSERT_EQ(table.rows(), 1u);
+    // Columns: 6 axes + 4 result columns.
+    ASSERT_EQ(table.columns(), 10u);
+    EXPECT_GT(std::get<double>(table.at(0, 6)), 0.0);
+    EXPECT_GT(std::get<std::uint64_t>(table.at(0, 7)), 0u);
+}
