@@ -55,6 +55,15 @@ struct L1Config
      *  the line was originally granted dirty. */
     bool skip_set_on_clean_ack = true;
     /// @}
+
+    /// @name Fault injection (tests only)
+    /// @{
+    /** Deliberately skip the §5.4 probe_invalidate interlock, leaving
+     *  flush-queue hit/dirty snapshots stale after a probe or eviction.
+     *  Exists solely so tests can prove the coherence checker detects the
+     *  resulting invariant violation. Never set outside tests. */
+    bool test_break_probe_invalidate = false;
+    /// @}
 };
 
 } // namespace skipit

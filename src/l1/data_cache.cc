@@ -156,6 +156,19 @@ DataCache::peekWord(Addr addr, std::uint64_t &value) const
 }
 
 bool
+DataCache::lineBusy(Addr addr) const
+{
+    const Addr line = lineAlign(addr);
+    if (fshrForLine(line) >= 0 || flushQueueHasLine(line))
+        return true;
+    if (probe_.busy() && probe_.line == line)
+        return true;
+    if (wbu_.conflictsWith(line))
+        return true;
+    return mshrForLine(line) >= 0;
+}
+
+bool
 DataCache::quiesced() const
 {
     if (flush_counter_ > 0 || wbu_.busy() || probe_.busy())
@@ -351,7 +364,8 @@ DataCache::processProbe()
       case ProbeUnit::State::InvalidateQueue:
         // probe_invalidate (§5.4.1): bring pending flush-queue entries in
         // line with the permission downgrade this probe will perform.
-        invalidateFlushEntries(probe_.line, probe_.cap == Cap::toN);
+        if (!cfg_.test_break_probe_invalidate)
+            invalidateFlushEntries(probe_.line, probe_.cap == Cap::toN);
         probe_.state = ProbeUnit::State::CheckConflicts;
         return;
 
@@ -390,8 +404,13 @@ DataCache::processProbe()
                 ack.data = arrays_.data(set, static_cast<unsigned>(way));
                 meta.dirty = false;
                 // Our modification is now travelling to L2; it is dirty
-                // there, so this line is not persisted.
+                // there, so this line is not persisted. An in-flight
+                // CBO.CLEAN release for it carries the pre-probe data,
+                // so its completion must not set the skip bit either.
                 meta.skip = false;
+                const int fshr = fshrForLine(probe_.line);
+                if (fshr >= 0)
+                    fshrs_[static_cast<unsigned>(fshr)].skip_ok = false;
             } else {
                 ack.op = COp::ProbeAck;
             }
@@ -443,6 +462,15 @@ DataCache::handleLoad(const CpuReq &req)
     const Addr line = lineAlign(req.addr);
     const int way = arrays_.findWay(line);
     if (way >= 0) {
+        // A BtoT upgrade in flight may hold older buffered stores to
+        // this line; serving the hit from the array would return
+        // pre-store data. Order the load behind them through the RPQ
+        // (the grow param is ignored on the piggy-back path).
+        if (mshrForLine(line) >= 0) {
+            if (!missToMshr(req, Grow::NtoB))
+                respondNack(req);
+            return;
+        }
         // A load hit never changes line state, so pending flush-queue
         // metadata stays valid and the load may proceed (§5.3).
         const unsigned set = arrays_.setOf(line);
@@ -1106,7 +1134,7 @@ DataCache::completeFshr(Fshr &f)
         // line is still resident and has not been re-dirtied, it is now
         // provably persisted: set the skip bit.
         const int way = arrays_.findWay(f.req.addr);
-        if (way >= 0) {
+        if (way >= 0 && f.skip_ok) {
             L1Meta &meta = arrays_.meta(arrays_.setOf(f.req.addr),
                                         static_cast<unsigned>(way));
             if (!meta.dirty)

@@ -74,6 +74,22 @@ class DataCache : public Ticked, public probe::Inspectable
     bool peekWord(Addr addr, std::uint64_t &value) const;
     /// @}
 
+    /// @name Checker introspection (verify/ reads, never writes)
+    /// @{
+    const std::vector<Fshr> &fshrs() const { return fshrs_; }
+    const std::vector<L1Mshr> &mshrs() const { return mshrs_; }
+    const BoundedFifo<FlushQueueEntry> &flushQueue() const
+    {
+        return flush_q_;
+    }
+    const ProbeUnit &probeUnit() const { return probe_; }
+    const WritebackUnit &writebackUnit() const { return wbu_; }
+    /** Any in-flight machinery on @p addr's line: FSHR, flush-queue entry,
+     *  probe, writeback or MSHR. Checker value/skip invariants only fire
+     *  on lines with no transaction in flight. */
+    bool lineBusy(Addr addr) const;
+    /// @}
+
     /** Watchdog interface: fingerprint every busy FSHR / MSHR / WBU /
      *  probe-unit / flush-queue entry (see sim/watchdog.hh). */
     void snapshotResources(

@@ -219,6 +219,10 @@ struct Fshr
     FlushQueueEntry req{};
     LineData buffer{};
     bool buffer_filled = false;
+    /** May completion set the skip bit? Cleared when a probe ships newer
+     *  data to L2 mid-flight: the release then persists a stale version,
+     *  so the line is NOT provably clean below (§6.1). */
+    bool skip_ok = true;
     Cycle wait_until = 0;
     unsigned set = 0;            //!< captured at allocation (hits only)
     int way = -1;

@@ -132,6 +132,19 @@ InclusiveCache::isDirty(Addr line_addr) const
     return dir_.entry(dir_.setOf(line), static_cast<unsigned>(way)).dirty;
 }
 
+bool
+InclusiveCache::lineBusy(Addr line_addr) const
+{
+    const Addr line = lineAlign(line_addr);
+    if (mshrForLine(line) >= 0)
+        return true;
+    for (const CMsg &m : list_buffer_) {
+        if (m.addr == line)
+            return true;
+    }
+    return false;
+}
+
 std::uint64_t
 InclusiveCache::dramTagFor(unsigned mshr_idx, bool tracked) const
 {

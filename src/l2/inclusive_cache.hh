@@ -76,6 +76,10 @@ class InclusiveCache : public Ticked, public probe::Inspectable
     /** Line state snapshot: resident? dirty? */
     bool isResident(Addr line_addr) const;
     bool isDirty(Addr line_addr) const;
+    /** Any transaction in flight on @p line_addr's line (as requested line,
+     *  eviction victim, or buffered RootRelease)? Checker value invariants
+     *  only fire on lines with no transaction in flight. */
+    bool lineBusy(Addr line_addr) const;
     /// @}
 
     /** Watchdog interface: fingerprint every valid MSHR and buffered

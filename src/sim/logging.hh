@@ -11,10 +11,46 @@
 #ifndef SKIPIT_SIM_LOGGING_HH
 #define SKIPIT_SIM_LOGGING_HH
 
+#include <cstddef>
+#include <functional>
+#include <ostream>
 #include <sstream>
 #include <string>
 
 namespace skipit {
+
+/**
+ * Register a callback that runs on the panic()/fatal() path, before the
+ * process dies, so crashes leave diagnosable artifacts (current cycle,
+ * active transaction, pending trace output) instead of truncated logs.
+ *
+ * The registry is thread-local: parallel sweep workers each own a full
+ * Simulator/SoC stack, and a crash on one thread must only report that
+ * thread's context. Handlers run newest-first and must not allocate
+ * simulated state or panic themselves (re-entrant panics skip handlers).
+ *
+ * @return an id for removeCrashHandler
+ */
+std::size_t addCrashHandler(std::function<void(std::ostream &)> fn);
+
+/** Unregister a handler; safe to call with an already-removed id. */
+void removeCrashHandler(std::size_t id);
+
+/** RAII registration so components can't leak dangling handlers. */
+class ScopedCrashHandler
+{
+  public:
+    explicit ScopedCrashHandler(std::function<void(std::ostream &)> fn)
+        : id_(addCrashHandler(std::move(fn)))
+    {
+    }
+    ~ScopedCrashHandler() { removeCrashHandler(id_); }
+    ScopedCrashHandler(const ScopedCrashHandler &) = delete;
+    ScopedCrashHandler &operator=(const ScopedCrashHandler &) = delete;
+
+  private:
+    std::size_t id_;
+};
 
 namespace detail {
 

@@ -73,6 +73,9 @@ class Hub
     /** Allocate the next transaction id (monotonic, never 0). */
     TxnId newTxn() { return next_txn_++; }
 
+    /** Most recently allocated transaction id (0 when none yet). */
+    TxnId lastTxn() const { return next_txn_ - 1; }
+
     void emit(const Event &e);
 
     /// @name Emission helpers (only call when active())

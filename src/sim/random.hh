@@ -37,6 +37,27 @@ class Rng
         return next() % bound;
     }
 
+    /**
+     * Uniform value in [lo, hi], inclusive on both ends, with rejection
+     * sampling so the distribution is exactly uniform (below() keeps its
+     * historical modulo bias because golden workload streams depend on
+     * its output byte for byte).
+     */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        const std::uint64_t span = hi - lo + 1;
+        if (span == 0)
+            return next(); // full 64-bit range: every draw is fair
+        // Reject draws below 2^64 mod span; what remains is an exact
+        // multiple of span, so the final modulo is unbiased.
+        const std::uint64_t threshold = (0 - span) % span;
+        std::uint64_t r = next();
+        while (r < threshold)
+            r = next();
+        return lo + r % span;
+    }
+
     /** Uniform double in [0, 1). */
     double
     uniform()

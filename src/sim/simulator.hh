@@ -7,8 +7,10 @@
 #define SKIPIT_SIM_SIMULATOR_HH
 
 #include <functional>
+#include <ostream>
 #include <vector>
 
+#include "logging.hh"
 #include "probe.hh"
 #include "ticked.hh"
 #include "types.hh"
@@ -88,6 +90,13 @@ class Simulator
     Cycle skipped_ = 0;
     bool fast_forward_ = false;
     mutable probe::Hub hub_;
+    // Crash context: a panic anywhere in this simulator's components
+    // reports the cycle and the most recent transaction id before the
+    // process dies, so truncated traces stay diagnosable.
+    ScopedCrashHandler crash_context_{[this](std::ostream &os) {
+        os << "  simulator: cycle " << now_ << ", last txn "
+           << hub_.lastTxn() << "\n";
+    }};
 };
 
 } // namespace skipit

@@ -101,6 +101,12 @@ Watchdog::report(const probe::ResourceSnapshot &snap, const Tracked &t)
         os << "  transaction " << snap.txn << " history:\n";
         tracer_->dumpTxn(snap.txn, os, "    ");
     }
+    if (escalation_)
+        escalation_(os);
+    if (cfg_.fatal) {
+        SKIPIT_FATAL("watchdog: ", snap.name, " stalled for ",
+                     now - t.since, " cycles (txn ", snap.txn, ")");
+    }
 }
 
 } // namespace skipit

@@ -18,9 +18,11 @@
 #ifndef SKIPIT_SIM_WATCHDOG_HH
 #define SKIPIT_SIM_WATCHDOG_HH
 
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "probe.hh"
@@ -41,6 +43,9 @@ struct WatchdogConfig
     Cycle stall_threshold = 100'000;
     /** Cycles between scans; bounds detection latency and scan cost. */
     Cycle scan_interval = 512;
+    /** Exit non-zero after the first stall report instead of continuing:
+     *  CI and fuzz runs want a stall to fail the job, not scroll past. */
+    bool fatal = false;
 };
 
 /** One detected stall. */
@@ -68,6 +73,16 @@ class Watchdog : public Ticked
     /** Redirect report output (default std::cerr). nullptr resets. */
     void setStream(std::ostream *os) { os_ = os; }
 
+    /**
+     * Hook appended to every stall report, before any fatal exit. The SoC
+     * wires this to the coherence checker so a stall report comes with a
+     * full invariant sweep (sim/ cannot depend on verify/ directly).
+     */
+    void setEscalation(std::function<void(std::ostream &)> fn)
+    {
+        escalation_ = std::move(fn);
+    }
+
     void tick() override;
     Cycle nextWake() const override;
 
@@ -89,6 +104,7 @@ class Watchdog : public Ticked
     std::vector<const probe::Inspectable *> components_;
     std::map<std::string, Tracked> tracked_;
     std::vector<StallRecord> stalls_;
+    std::function<void(std::ostream &)> escalation_;
     const TxnTracer *tracer_ = nullptr;
     std::ostream *os_ = nullptr;
     Cycle next_scan_ = 0;

@@ -15,8 +15,12 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
 
     for (unsigned c = 0; c < cfg.cores; ++c) {
         const std::string cn = "core" + std::to_string(c);
-        links_.push_back(
-            std::make_unique<TLLink>(sim_, cfg.link_latency, cn + ".tl"));
+        ChannelJitter jit = cfg.jitter;
+        // Stir the core index in so the per-core links draw from
+        // unrelated streams even for adjacent base seeds.
+        jit.seed = jit.seed * 0x9e3779b97f4a7c15ULL + c + 1;
+        links_.push_back(std::make_unique<TLLink>(sim_, cfg.link_latency,
+                                                  cn + ".tl", jit));
         l2_->connectClient(static_cast<AgentId>(c), *links_.back());
         l1s_.push_back(std::make_unique<DataCache>(
             cn + ".l1d", sim_, cfg.l1, static_cast<AgentId>(c),
@@ -47,6 +51,27 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
     watchdog_->watch(*l2_);
     sim_.add(*watchdog_);
 
+    // The invariant checker ticks after everything (observer only). A
+    // skip bit is only meaningful when GrantData vs GrantDataDirty can
+    // actually distinguish clean fills; with grant_data_dirty off the
+    // sweep axes can produce configurations where it is unsound, so the
+    // skip check follows the feature set.
+    verify::CheckerConfig vcfg = cfg.verify;
+    vcfg.check_skip = vcfg.check_skip && cfg.l1.skip_it &&
+                      cfg.l2.grant_data_dirty;
+    checker_ = std::make_unique<verify::CoherenceChecker>("checker", sim_,
+                                                          vcfg);
+    for (auto &l1 : l1s_)
+        checker_->addL1(*l1);
+    checker_->setL2(*l2_);
+    checker_->setDram(*dram_);
+    sim_.add(*checker_);
+
+    // A watchdog stall report triggers a full invariant sweep: is the
+    // stall a liveness bug or a symptom of broken coherence?
+    watchdog_->setEscalation(
+        [this](std::ostream &os) { checker_->escalate(os); });
+
     sim_.setFastForward(cfg.fast_forward);
 }
 
@@ -71,7 +96,16 @@ SoCConfig::describe() const
        << dram.write_ack_latency << ", issue interval "
        << dram.issue_interval << "\n"
        << "link latency: " << link_latency << "\n"
-       << "fast-forward: " << (fast_forward ? "on" : "off") << "\n";
+       << "fast-forward: " << (fast_forward ? "on" : "off") << "\n"
+       << "checker: " << (verify.enabled ? "on" : "off")
+       << (verify.enabled && !verify.fatal ? " (latching)" : "")
+       << ", jitter: " << (jitter.enabled ? "on" : "off");
+    if (jitter.enabled) {
+        os << " (seed " << jitter.seed << ", max-delay "
+           << jitter.max_delay << ", burst " << jitter.burst_chance
+           << "x" << jitter.burst_len << ")";
+    }
+    os << "\n";
     return os.str();
 }
 

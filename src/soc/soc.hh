@@ -22,6 +22,7 @@
 #include "sim/stats.hh"
 #include "sim/watchdog.hh"
 #include "tilelink/link.hh"
+#include "verify/checker.hh"
 
 namespace skipit {
 
@@ -37,6 +38,16 @@ struct SoCConfig
     unsigned dispatch_width = 2;
     /** Stall watchdog (on by default; detection only, zero timing cost). */
     WatchdogConfig watchdog{};
+    /** Coherence invariant checker (on by default; read-only, zero timing
+     *  cost — enabling it cannot change a single cycle count). The SoC
+     *  clears verify.check_skip automatically when the configuration
+     *  makes the skip bit genuinely unsound (skip_it without
+     *  grant_data_dirty, reachable via the ablation sweep axes). */
+    verify::CheckerConfig verify{};
+    /** Schedule perturbation on every TileLink channel (off by default;
+     *  timing-only fault injection for fuzzing). Each core's link mixes
+     *  its index into the seed so links jitter independently. */
+    ChannelJitter jitter{};
     /** Quiescence fast-forward (on by default): skip the clock across
      *  provably idle stretches. Bit-identical timing — see the
      *  Ticked::nextWake() contract — so there is no reason to turn it
@@ -79,6 +90,8 @@ class SoC
     InclusiveCache &l2() { return *l2_; }
     Dram &dram() { return *dram_; }
     Watchdog &watchdog() { return *watchdog_; }
+    verify::CoherenceChecker &checker() { return *checker_; }
+    const verify::CoherenceChecker &checker() const { return *checker_; }
 
     /** Run until every hart's program is done. @return elapsed cycles. */
     Cycle runToCompletion(Cycle max_cycles = 100'000'000);
@@ -100,6 +113,7 @@ class SoC
     std::vector<std::unique_ptr<Lsu>> lsus_;
     std::vector<std::unique_ptr<Hart>> harts_;
     std::unique_ptr<Watchdog> watchdog_;
+    std::unique_ptr<verify::CoherenceChecker> checker_;
 };
 
 } // namespace skipit

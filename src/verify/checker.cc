@@ -1,0 +1,422 @@
+#include "checker.hh"
+
+#include <cstring>
+#include <utility>
+
+#include "coherence/state.hh"
+#include "dram/dram.hh"
+#include "l1/data_cache.hh"
+#include "l2/directory.hh"
+#include "l2/inclusive_cache.hh"
+#include "sim/logging.hh"
+
+namespace skipit::verify {
+
+namespace {
+
+const char *
+fshrStateName(Fshr::State s)
+{
+    switch (s) {
+      case Fshr::State::Invalid:
+        return "invalid";
+      case Fshr::State::MetaWrite:
+        return "meta_write";
+      case Fshr::State::FillBuffer:
+        return "fill_buffer";
+      case Fshr::State::RootReleaseData:
+        return "root_release_data";
+      case Fshr::State::RootRelease:
+        return "root_release";
+      case Fshr::State::RootReleaseAck:
+        return "root_release_ack";
+    }
+    return "?";
+}
+
+/**
+ * Per-executed-cycle transition legality (Figure 7). Self loops are always
+ * legal (an FSHR may wait in a state). RootReleaseAck may complete and be
+ * reallocated within one cycle, so it also steps to the two entry states.
+ */
+bool
+fshrTransitionLegal(Fshr::State from, Fshr::State to)
+{
+    using S = Fshr::State;
+    if (from == to)
+        return true;
+    switch (from) {
+      case S::Invalid:
+        return to == S::MetaWrite || to == S::RootRelease;
+      case S::MetaWrite:
+        return to == S::FillBuffer || to == S::RootRelease;
+      case S::FillBuffer:
+        return to == S::RootReleaseData;
+      case S::RootReleaseData:
+      case S::RootRelease:
+        return to == S::RootReleaseAck;
+      case S::RootReleaseAck:
+        return to == S::Invalid || to == S::MetaWrite ||
+               to == S::RootRelease;
+    }
+    return false;
+}
+
+} // namespace
+
+CoherenceChecker::CoherenceChecker(std::string name, Simulator &sim,
+                                   const CheckerConfig &cfg)
+    : Ticked(std::move(name)), sim_(sim), cfg_(cfg)
+{
+}
+
+void
+CoherenceChecker::addL1(const DataCache &l1)
+{
+    // Index order must match AgentId order: l1s_[id] is the cache whose
+    // TileLink source id is @p id (the SoC adds them in core order).
+    l1s_.push_back(&l1);
+    prev_fshr_.emplace_back(l1.fshrs().size(), Fshr::State::Invalid);
+}
+
+void
+CoherenceChecker::tick()
+{
+    if (!cfg_.enabled)
+        return;
+    ++checks_run_;
+    for (std::size_t i = 0; i < l1s_.size(); ++i) {
+        checkL1Structural(i);
+        checkFshrFsm(i);
+    }
+    if (cfg_.check_values && cfg_.value_interval > 0 &&
+        checks_run_ % cfg_.value_interval == 0) {
+        for (std::size_t i = 0; i < l1s_.size(); ++i)
+            checkValues(i);
+    }
+    snapshotFshrStates();
+}
+
+std::size_t
+CoherenceChecker::checkNow()
+{
+    if (!cfg_.enabled)
+        return 0;
+    const std::size_t before = violations_.size();
+    for (std::size_t i = 0; i < l1s_.size(); ++i) {
+        checkL1Structural(i);
+        checkFshrFsm(i);
+    }
+    if (cfg_.check_values) {
+        for (std::size_t i = 0; i < l1s_.size(); ++i)
+            checkValues(i);
+        checkL2DramSweep();
+    }
+    snapshotFshrStates();
+    return violations_.size() - before;
+}
+
+void
+CoherenceChecker::escalate(std::ostream &os)
+{
+    if (!cfg_.enabled)
+        return;
+    std::vector<Violation> found;
+    collect_ = &found;
+    checkNow();
+    collect_ = nullptr;
+    if (found.empty()) {
+        os << "CHECKER: full invariant sweep clean @ cycle " << sim_.now()
+           << " (stall is a liveness problem, not a coherence one)\n";
+        return;
+    }
+    os << "CHECKER: " << found.size() << " invariant violation(s) @ cycle "
+       << sim_.now() << ":\n";
+    for (const Violation &v : found) {
+        os << "  [" << v.invariant << "] " << v.detail << "\n";
+        if (violations_.size() < cfg_.max_violations)
+            violations_.push_back(v);
+    }
+}
+
+void
+CoherenceChecker::report(std::ostream &os) const
+{
+    os << "checker: " << checks_run_ << " cycles checked, "
+       << violations_.size() << " violation(s)\n";
+    for (const Violation &v : violations_) {
+        os << "  cycle " << v.cycle << " [" << v.invariant << "] "
+           << v.detail << "\n";
+    }
+}
+
+void
+CoherenceChecker::fail(const char *invariant, std::string detail)
+{
+    if (collect_ != nullptr) {
+        if (collect_->size() < cfg_.max_violations)
+            collect_->push_back({sim_.now(), invariant, std::move(detail)});
+        return;
+    }
+    if (cfg_.fatal) {
+        SKIPIT_PANIC("coherence invariant '", invariant,
+                     "' violated @ cycle ", sim_.now(), ": ", detail);
+    }
+    if (violations_.size() < cfg_.max_violations)
+        violations_.push_back({sim_.now(), invariant, std::move(detail)});
+}
+
+bool
+CoherenceChecker::lineQuiet(Addr line) const
+{
+    for (const DataCache *l1 : l1s_) {
+        if (l1->lineBusy(line))
+            return false;
+    }
+    return l2_ == nullptr || !l2_->lineBusy(line);
+}
+
+void
+CoherenceChecker::checkL1Structural(std::size_t idx)
+{
+    const DataCache &dc = *l1s_[idx];
+    const L1Arrays &arrays = dc.arrays();
+    const AgentId id = static_cast<AgentId>(idx);
+
+    for (unsigned set = 0; set < arrays.sets(); ++set) {
+        for (unsigned way = 0; way < arrays.ways(); ++way) {
+            const L1Meta &meta = arrays.meta(set, way);
+            if (!meta.valid())
+                continue;
+            const Addr line = arrays.addrOf(set, way);
+
+            // swmr: only a Trunk may hold dirty data.
+            if (meta.dirty && meta.state != ClientState::Trunk) {
+                fail("swmr", detail::concat(
+                         "l1[", idx, "] holds 0x", std::hex, line,
+                         " dirty in state ", toString(meta.state)));
+            }
+            // swmr: a Trunk is the sole holder across all L1s.
+            if (meta.state == ClientState::Trunk) {
+                for (std::size_t j = 0; j < l1s_.size(); ++j) {
+                    if (j == idx)
+                        continue;
+                    const ClientState other = l1s_[j]->lineState(line);
+                    if (other != ClientState::Nothing) {
+                        fail("swmr", detail::concat(
+                                 "l1[", idx, "] is Trunk of 0x", std::hex,
+                                 line, " while l1[", std::dec, j,
+                                 "] holds it as ", toString(other)));
+                    }
+                }
+            }
+
+            // inclusivity: the directory records (at least) what the L1
+            // actually holds. The reverse is legal in flight.
+            if (l2_ != nullptr) {
+                const Directory &dir = l2_->directory();
+                const int l2_way = dir.findWay(line);
+                if (l2_way < 0) {
+                    fail("inclusivity", detail::concat(
+                             "l1[", idx, "] holds 0x", std::hex, line,
+                             " (", toString(meta.state),
+                             ") absent from the L2 directory"));
+                    continue;
+                }
+                const DirEntry &e = dir.entry(
+                    dir.setOf(line), static_cast<unsigned>(l2_way));
+                if (!e.heldBy(id)) {
+                    fail("inclusivity", detail::concat(
+                             "l1[", idx, "] holds 0x", std::hex, line,
+                             " (", toString(meta.state),
+                             ") but the directory does not record it"));
+                } else if (meta.state == ClientState::Trunk &&
+                           e.trunk != id) {
+                    fail("inclusivity", detail::concat(
+                             "l1[", idx, "] is Trunk of 0x", std::hex,
+                             line, " but the directory trunk is agent ",
+                             std::dec, e.trunk));
+                }
+            }
+        }
+    }
+
+    // flushq-meta: queue snapshots agree with the array (§5.4's
+    // probe_invalidate keeps them coherent through downgrades).
+    for (const FlushQueueEntry &e : dc.flushQueue()) {
+        if (e.is_dirty && !e.is_hit) {
+            fail("flushq-meta", detail::concat(
+                     "l1[", idx, "] flush-queue entry 0x", std::hex,
+                     e.addr, " claims dirty data without a hit"));
+        }
+        if (!e.is_hit)
+            continue;
+        const int way = arrays.findWay(e.addr);
+        if (way < 0) {
+            fail("flushq-meta", detail::concat(
+                     "l1[", idx, "] flush-queue hit entry 0x", std::hex,
+                     e.addr, " but the line is no longer resident"));
+            continue;
+        }
+        const L1Meta &meta = arrays.meta(arrays.setOf(e.addr),
+                                         static_cast<unsigned>(way));
+        // probe_invalidate clears the queued snapshot the moment a probe
+        // claims the line, but the array bit is only dropped when the
+        // probe responds (§5.4) — tolerate that one-directional window
+        // while the probe unit is mid-flight on this line.
+        const ProbeUnit &pu = dc.probeUnit();
+        const bool probe_window =
+            pu.busy() && pu.line == e.addr && meta.dirty && !e.is_dirty;
+        if (meta.dirty != e.is_dirty && !probe_window) {
+            fail("flushq-meta", detail::concat(
+                     "l1[", idx, "] flush-queue entry 0x", std::hex,
+                     e.addr, " snapshotted dirty=", e.is_dirty,
+                     " but the array says dirty=", meta.dirty));
+        }
+    }
+
+    // probe-invalidate: once the probe passed its invalidate-queue stage,
+    // every queued entry on the probed line must reflect the downgrade.
+    const ProbeUnit &probe = dc.probeUnit();
+    if (probe.state == ProbeUnit::State::CheckConflicts ||
+        probe.state == ProbeUnit::State::Respond) {
+        for (const FlushQueueEntry &e : dc.flushQueue()) {
+            if (e.addr != probe.line)
+                continue;
+            if (e.is_dirty) {
+                fail("probe-invalidate", detail::concat(
+                         "l1[", idx, "] probe on 0x", std::hex,
+                         probe.line, " passed invalidate-queue but a "
+                         "queued entry still claims dirty data"));
+            }
+            if (probe.cap == Cap::toN && e.is_hit) {
+                fail("probe-invalidate", detail::concat(
+                         "l1[", idx, "] toN probe on 0x", std::hex,
+                         probe.line, " passed invalidate-queue but a "
+                         "queued entry still claims a hit"));
+            }
+        }
+    }
+
+    // flush-counter conservation: counter == queued + in-FSHR CBO.X.
+    unsigned busy_fshrs = 0;
+    for (const Fshr &f : dc.fshrs())
+        busy_fshrs += f.busy() ? 1 : 0;
+    const unsigned expected =
+        static_cast<unsigned>(dc.flushQueue().size()) + busy_fshrs;
+    if (dc.flushCounter() != expected) {
+        fail("flush-counter", detail::concat(
+                 "l1[", idx, "] flush counter ", dc.flushCounter(),
+                 " != ", dc.flushQueue().size(), " queued + ", busy_fshrs,
+                 " in FSHRs"));
+    }
+}
+
+void
+CoherenceChecker::checkFshrFsm(std::size_t idx)
+{
+    const std::vector<Fshr> &fshrs = l1s_[idx]->fshrs();
+    std::vector<Fshr::State> &prev = prev_fshr_[idx];
+    for (std::size_t i = 0; i < fshrs.size(); ++i) {
+        const Fshr::State from = prev[i];
+        const Fshr::State to = fshrs[i].state;
+        if (!fshrTransitionLegal(from, to)) {
+            fail("fshr-fsm", detail::concat(
+                     "l1[", idx, "] fshr", i, " took illegal transition ",
+                     fshrStateName(from), " -> ", fshrStateName(to),
+                     " (line 0x", std::hex, fshrs[i].req.addr, ")"));
+        }
+    }
+}
+
+void
+CoherenceChecker::snapshotFshrStates()
+{
+    for (std::size_t idx = 0; idx < l1s_.size(); ++idx) {
+        const std::vector<Fshr> &fshrs = l1s_[idx]->fshrs();
+        for (std::size_t i = 0; i < fshrs.size(); ++i)
+            prev_fshr_[idx][i] = fshrs[i].state;
+    }
+}
+
+void
+CoherenceChecker::checkValues(std::size_t idx)
+{
+    if (l2_ == nullptr)
+        return;
+    const DataCache &dc = *l1s_[idx];
+    const L1Arrays &arrays = dc.arrays();
+    const Directory &dir = l2_->directory();
+
+    for (unsigned set = 0; set < arrays.sets(); ++set) {
+        for (unsigned way = 0; way < arrays.ways(); ++way) {
+            const L1Meta &meta = arrays.meta(set, way);
+            // Dirty lines are legitimately ahead of the levels below;
+            // busy lines are mid-transaction.
+            if (!meta.valid() || meta.dirty)
+                continue;
+            const Addr line = arrays.addrOf(set, way);
+            if (!lineQuiet(line))
+                continue;
+            const int l2_way = dir.findWay(line);
+            if (l2_way < 0)
+                continue; // inclusivity already reported it
+            const unsigned l2_set = dir.setOf(line);
+            const DirEntry &e =
+                dir.entry(l2_set, static_cast<unsigned>(l2_way));
+
+            // value-coherence: a clean quiet L1 line is a byte-exact copy
+            // of the L2's version (however either got it).
+            const LineData &l1_bytes = arrays.data(set, way);
+            const LineData &l2_bytes =
+                l2_->store().read(l2_set, static_cast<unsigned>(l2_way));
+            if (std::memcmp(l1_bytes.data(), l2_bytes.data(),
+                            line_bytes) != 0) {
+                fail("value-coherence", detail::concat(
+                         "l1[", idx, "] clean copy of 0x", std::hex, line,
+                         " differs from the L2 copy"));
+            }
+
+            // skip-soundness (§6): skip set on a clean line means no
+            // dirty copy exists below — the negation of L2's dirty bit.
+            if (cfg_.check_skip && meta.skip && e.dirty) {
+                fail("skip-soundness", detail::concat(
+                         "l1[", idx, "] has skip set on clean 0x",
+                         std::hex, line, " but the L2 copy is dirty"));
+            }
+        }
+    }
+}
+
+void
+CoherenceChecker::checkL2DramSweep()
+{
+    // A clean quiet L2 line must match the backing store byte for byte:
+    // it was either filled from DRAM or written back to it, and the
+    // llc_skip / Inval-discard shortcuts are only sound when this holds.
+    // Too wide to run per cycle; checkNow()-only. Assumes no external
+    // pokeLine() of resident lines (DMA-style tests poke then CBO.INVAL).
+    if (l2_ == nullptr || dram_ == nullptr)
+        return;
+    const Directory &dir = l2_->directory();
+    for (unsigned set = 0; set < dir.sets(); ++set) {
+        for (unsigned way = 0; way < dir.ways(); ++way) {
+            const DirEntry &e = dir.entry(set, way);
+            if (!e.valid || e.dirty)
+                continue;
+            const Addr line = dir.addrOf(set, way);
+            if (!lineQuiet(line))
+                continue;
+            const LineData dram_bytes = dram_->peekLine(line);
+            const LineData &l2_bytes = l2_->store().read(set, way);
+            if (std::memcmp(l2_bytes.data(), dram_bytes.data(),
+                            line_bytes) != 0) {
+                fail("value-coherence", detail::concat(
+                         "L2 clean copy of 0x", std::hex, line,
+                         " differs from DRAM"));
+            }
+        }
+    }
+}
+
+} // namespace skipit::verify

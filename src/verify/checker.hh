@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The global coherence invariant checker (the runtime half of the paper's
+ * correctness argument).
+ *
+ * Registered on the SoC like the watchdog — last in tick order, never
+ * mutating simulated state — the checker re-derives, at the end of every
+ * executed cycle, the invariants the paper argues on paper:
+ *
+ *  - "swmr"             single-writer / multi-reader across L1s (§2.2):
+ *                       at most one Trunk per line, a Trunk is the sole
+ *                       holder, and only a Trunk may be dirty.
+ *  - "inclusivity"      every line an L1 holds is resident in the L2
+ *                       directory and recorded for that holder (§3.4);
+ *                       an L1 Trunk must be the directory's trunk. (The
+ *                       directory may transiently record *more* permission
+ *                       than an L1 still has — shrink reports are applied
+ *                       at C-channel arrival — but never less.)
+ *  - "flushq-meta"      flush-queue snapshots agree with the array: a
+ *                       hit entry's line is resident with the snapshotted
+ *                       dirty bit, and a dirty entry is a hit (§5.2/§5.4,
+ *                       maintained by the probe_invalidate interlock).
+ *  - "probe-invalidate" once a probe has passed its invalidate-queue
+ *                       stage, no queued entry on the probed line still
+ *                       claims dirty data (or, for a toN probe, a hit).
+ *  - "fshr-fsm"         FSHR transitions follow the six-state machine of
+ *                       Figure 7 (§5.2).
+ *  - "flush-counter"    flush counter == queued + in-FSHR CBO.X (§5.3).
+ *  - "value-coherence"  a clean quiet L1 line's bytes equal the L2 copy;
+ *                       a clean quiet L2 line's bytes equal DRAM. The
+ *                       hierarchy agreement chain is the checker's shadow
+ *                       memory oracle: together with the fuzzer's
+ *                       per-word program-order oracle it gives end-to-end
+ *                       load-value checking.
+ *  - "skip-soundness"   a set skip bit on a clean quiet line implies no
+ *                       dirty copy below and bytes identical to DRAM (§6).
+ *
+ * Value/skip checks only fire on *quiet* lines (no FSHR, flush-queue
+ * entry, probe, writeback, MSHR or L2 transaction in flight on the line):
+ * while a transaction is mid-flight the levels legitimately disagree.
+ * Structural invariants hold unconditionally every cycle.
+ *
+ * The checker reads end-of-cycle state only; with fast-forward enabled it
+ * still observes every state change, because skipped cycles are provably
+ * idle. Enabling it never changes simulated timing.
+ */
+
+#ifndef SKIPIT_VERIFY_CHECKER_HH
+#define SKIPIT_VERIFY_CHECKER_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "l1/structures.hh"
+#include "sim/simulator.hh"
+#include "sim/ticked.hh"
+#include "sim/types.hh"
+
+namespace skipit {
+class DataCache;
+class InclusiveCache;
+class Dram;
+} // namespace skipit
+
+namespace skipit::verify {
+
+/** Checker parameters. */
+struct CheckerConfig
+{
+    bool enabled = true;
+    /** Panic on the first violation (tests, CI) instead of latching it
+     *  for later inspection (fuzzing, watchdog escalation). */
+    bool fatal = true;
+    /** Run the value-coherence / skip-soundness byte comparisons. */
+    bool check_values = true;
+    /** Check skip-bit soundness. The SoC clears this automatically for
+     *  configurations where the skip bit is genuinely unsound (skip_it
+     *  without grant_data_dirty, reachable through the ablation axes). */
+    bool check_skip = true;
+    /** Executed cycles between value sweeps (structural invariants run
+     *  every cycle). Quiet-line bytes cannot change while quiet, so
+     *  sampling only delays detection; checkNow() always sweeps. */
+    Cycle value_interval = 16;
+    /** Latched-violation cap when not fatal. */
+    std::size_t max_violations = 64;
+};
+
+/** One detected invariant violation. */
+struct Violation
+{
+    Cycle cycle = 0;
+    std::string invariant; //!< named key, e.g. "probe-invalidate"
+    std::string detail;
+};
+
+/** See file comment. */
+class CoherenceChecker : public Ticked
+{
+  public:
+    CoherenceChecker(std::string name, Simulator &sim,
+                     const CheckerConfig &cfg);
+
+    /// @name Wiring (SoC construction; all optional)
+    /// @{
+    void addL1(const DataCache &l1);
+    void setL2(const InclusiveCache &l2) { l2_ = &l2; }
+    void setDram(const Dram &dram) { dram_ = &dram; }
+    /// @}
+
+    void tick() override;
+    /** The checker never forces a cycle to execute: state only changes in
+     *  executed cycles, and the checker runs in each of those. */
+    Cycle nextWake() const override { return wake_never; }
+
+    /**
+     * Exhaustive sweep right now: every structural invariant, every value
+     * invariant, plus the full L2-vs-DRAM clean-line agreement scan that
+     * is too wide to run per cycle. Honors CheckerConfig::fatal.
+     * @return number of new violations found (0 when fatal, it panics)
+     */
+    std::size_t checkNow();
+
+    /** Non-fatal exhaustive sweep + report, for watchdog escalation. */
+    void escalate(std::ostream &os);
+
+    bool clean() const { return violations_.empty(); }
+    const std::vector<Violation> &violations() const { return violations_; }
+    /** Executed cycles the checker has examined. */
+    std::uint64_t checksRun() const { return checks_run_; }
+    void report(std::ostream &os) const;
+
+  private:
+    Simulator &sim_;
+    CheckerConfig cfg_;
+    std::vector<const DataCache *> l1s_;
+    const InclusiveCache *l2_ = nullptr;
+    const Dram *dram_ = nullptr;
+
+    std::vector<Violation> violations_;
+    std::uint64_t checks_run_ = 0;
+    /** Previous-tick FSHR states, per L1, for transition checking. */
+    std::vector<std::vector<Fshr::State>> prev_fshr_;
+    /** When non-null, fail() collects here instead of panicking. */
+    std::vector<Violation> *collect_ = nullptr;
+
+    void checkL1Structural(std::size_t idx);
+    void checkFshrFsm(std::size_t idx);
+    void checkValues(std::size_t idx);
+    void checkL2DramSweep();
+    void snapshotFshrStates();
+
+    /** Is any machinery in the whole hierarchy working on @p line? */
+    bool lineQuiet(Addr line) const;
+
+    void fail(const char *invariant, std::string detail);
+};
+
+} // namespace skipit::verify
+
+#endif // SKIPIT_VERIFY_CHECKER_HH

@@ -1,0 +1,482 @@
+#include "fuzz.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "core/asm.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/txn_tracer.hh"
+
+namespace skipit::workloads {
+
+namespace {
+
+/** The word of every pool line that hart @p h owns. */
+Addr
+ownedWord(const FuzzSpec &spec, unsigned h, unsigned line)
+{
+    return spec.pool_base + static_cast<Addr>(line) * line_bytes +
+           (h % 8) * 8;
+}
+
+/** Stir @p salt into @p seed so derived streams are unrelated. */
+std::uint64_t
+stir(std::uint64_t seed, std::uint64_t salt)
+{
+    return seed * 0x9e3779b97f4a7c15ULL + salt + 1;
+}
+
+/**
+ * Expected value of each load in @p p, by op index: the hart's last
+ * preceding store to the same address (memory starts zeroed).
+ */
+std::vector<std::pair<std::size_t, std::uint64_t>>
+expectedLoads(const Program &p)
+{
+    std::map<Addr, std::uint64_t> last;
+    std::vector<std::pair<std::size_t, std::uint64_t>> out;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        if (p[i].kind == MemOpKind::Store)
+            last[p[i].addr] = p[i].data;
+        else if (p[i].kind == MemOpKind::Load)
+            out.emplace_back(i, last.count(p[i].addr) ? last[p[i].addr]
+                                                      : 0);
+    }
+    return out;
+}
+
+/**
+ * Words whose DRAM value is pinned at quiescence: the hart's last store
+ * to the address is followed, in its own program order, by a CBO.CLEAN
+ * or CBO.FLUSH of that line. Single-writer ownership means no later
+ * writeback (by anyone) can carry an older value of the word.
+ */
+std::vector<std::pair<Addr, std::uint64_t>>
+expectedPersists(const Program &p)
+{
+    std::map<Addr, std::uint64_t> last;      // addr -> value
+    std::map<Addr, bool> written_back;       // addr -> wb after last store
+    for (const MemOp &op : p) {
+        if (op.kind == MemOpKind::Store) {
+            last[op.addr] = op.data;
+            written_back[op.addr] = false;
+        } else if (op.kind == MemOpKind::CboClean ||
+                   op.kind == MemOpKind::CboFlush) {
+            const Addr line = op.addr & ~static_cast<Addr>(line_bytes - 1);
+            for (auto &[addr, wb] : written_back) {
+                if ((addr & ~static_cast<Addr>(line_bytes - 1)) == line)
+                    wb = true;
+            }
+        }
+    }
+    std::vector<std::pair<Addr, std::uint64_t>> out;
+    for (const auto &[addr, wb] : written_back) {
+        if (wb)
+            out.emplace_back(addr, last[addr]);
+    }
+    return out;
+}
+
+/** Run to the spec's deadline or completion/violation, without tripping
+ *  runUntil's deadlock panic. @return true when fully quiesced. */
+bool
+runOne(SoC &soc, const FuzzSpec &spec)
+{
+    const Cycle deadline = soc.sim().now() + spec.max_cycles;
+    const auto settled = [&] {
+        for (unsigned c = 0; c < soc.cores(); ++c) {
+            if (!soc.hart(c).done() || !soc.l1(c).quiesced())
+                return false;
+        }
+        return soc.l2().idle();
+    };
+    soc.sim().runUntil(
+        [&] {
+            return settled() || !soc.checker().clean() ||
+                   soc.sim().now() >= deadline;
+        },
+        spec.max_cycles + 1000);
+    return settled();
+}
+
+} // namespace
+
+SoCConfig
+fuzzConfig(const FuzzSpec &spec, std::uint64_t seed)
+{
+    SKIPIT_ASSERT(spec.harts >= 1 && spec.harts <= 8,
+                  "fuzz: harts must be 1..8 (one owned word per line)");
+    SoCConfig cfg;
+    cfg.cores = spec.harts;
+    cfg.verify.fatal = false; // latch violations; the harness reports
+    cfg.jitter.enabled = spec.jitter;
+    cfg.jitter.seed = stir(seed, 0xfa11);
+    cfg.jitter.max_delay = spec.max_delay;
+    cfg.l1.test_break_probe_invalidate = spec.break_probe_invalidate;
+    if (spec.fshrs > 0)
+        cfg.l1.fshrs = spec.fshrs;
+    if (spec.flush_queue_depth > 0)
+        cfg.l1.flush_queue_depth = spec.flush_queue_depth;
+    return cfg;
+}
+
+std::vector<Program>
+generateFuzzPrograms(const FuzzSpec &spec, std::uint64_t seed)
+{
+    std::vector<Program> programs(spec.harts);
+    for (unsigned h = 0; h < spec.harts; ++h) {
+        Rng rng(stir(seed, h));
+        Program &p = programs[h];
+        for (unsigned i = 0; i < spec.ops; ++i) {
+            const unsigned line =
+                static_cast<unsigned>(rng.below(spec.lines));
+            const Addr word = ownedWord(spec, h, line);
+            const Addr line_addr = spec.pool_base +
+                                   static_cast<Addr>(line) * line_bytes;
+            const std::uint64_t dice = rng.below(100);
+            if (dice < 35)
+                p.push_back(MemOp::store(word, rng.next() | 1));
+            else if (dice < 60)
+                p.push_back(MemOp::load(word));
+            else if (dice < 75)
+                p.push_back(MemOp::clean(line_addr));
+            else if (dice < 90)
+                p.push_back(MemOp::flush(line_addr));
+            else if (dice < 95)
+                p.push_back(MemOp::fence());
+            else
+                p.push_back(MemOp::compute(rng.range(1, 8)));
+        }
+        // Epilogue: persist everything, then fence — pins every stored
+        // word's DRAM value for the end-state oracle.
+        for (unsigned line = 0; line < spec.lines; ++line)
+            p.push_back(MemOp::flush(spec.pool_base +
+                                     static_cast<Addr>(line) *
+                                         line_bytes));
+        p.push_back(MemOp::fence());
+    }
+    return programs;
+}
+
+std::optional<FuzzFailure>
+runFuzzPrograms(const FuzzSpec &spec, std::uint64_t seed,
+                const std::vector<Program> &programs)
+{
+    SKIPIT_ASSERT(programs.size() == spec.harts,
+                  "fuzz: one program per hart required");
+    SoC soc(fuzzConfig(spec, seed));
+    soc.setPrograms(programs);
+    const bool settled = runOne(soc, spec);
+
+    const auto fail = [&](std::string kind, std::string detail,
+                          Cycle cycle) {
+        return FuzzFailure{seed, std::move(kind), std::move(detail),
+                           cycle, programs};
+    };
+
+    // 1. Latched invariant violations (structural checks run per tick).
+    if (!soc.checker().clean()) {
+        const verify::Violation &v = soc.checker().violations().front();
+        return fail("invariant",
+                    detail::concat("invariant '", v.invariant,
+                                   "' violated: ", v.detail),
+                    v.cycle);
+    }
+
+    // 2. Liveness: everything must settle before the deadline.
+    if (!settled) {
+        std::ostringstream os;
+        os << "run did not settle within " << spec.max_cycles
+           << " cycles;";
+        for (unsigned c = 0; c < soc.cores(); ++c) {
+            if (!soc.hart(c).done())
+                os << " hart" << c << " stuck at pc "
+                   << soc.hart(c).pc();
+        }
+        return fail("hang", os.str(), soc.sim().now());
+    }
+
+    // 3. Full sweep at quiescence (adds the L2-vs-DRAM comparison).
+    soc.checker().checkNow();
+    if (!soc.checker().clean()) {
+        const verify::Violation &v = soc.checker().violations().front();
+        return fail("invariant",
+                    detail::concat("final sweep: invariant '",
+                                   v.invariant, "' violated: ", v.detail),
+                    v.cycle);
+    }
+
+    // 4. Load values against the per-hart program-order oracle.
+    for (unsigned h = 0; h < spec.harts; ++h) {
+        for (const auto &[idx, expect] : expectedLoads(programs[h])) {
+            const std::uint64_t got = soc.hart(h).loadValue(idx);
+            if (got != expect) {
+                return fail(
+                    "value",
+                    detail::concat("hart", h, " op ", idx, " load 0x",
+                                   std::hex, programs[h][idx].addr,
+                                   " returned 0x", got, ", expected 0x",
+                                   expect),
+                    soc.sim().now());
+            }
+        }
+    }
+
+    // 5. Persisted end state: every written-back word matches DRAM.
+    for (unsigned h = 0; h < spec.harts; ++h) {
+        for (const auto &[addr, expect] : expectedPersists(programs[h])) {
+            const std::uint64_t got = soc.dram().peekWord(addr);
+            if (got != expect) {
+                return fail(
+                    "persist",
+                    detail::concat("hart", h, " word 0x", std::hex, addr,
+                                   " persisted as 0x", got,
+                                   ", expected 0x", expect),
+                    soc.sim().now());
+            }
+        }
+    }
+
+    return std::nullopt;
+}
+
+std::optional<FuzzFailure>
+runFuzzSeed(const FuzzSpec &spec, std::uint64_t seed)
+{
+    return runFuzzPrograms(spec, seed, generateFuzzPrograms(spec, seed));
+}
+
+std::optional<FuzzFailure>
+runFuzz(const FuzzSpec &spec, std::uint64_t base_seed, unsigned count,
+        unsigned jobs)
+{
+    std::optional<FuzzFailure> best;
+    std::mutex mu;
+    std::atomic<std::uint64_t> next{0};
+    // Once a failure at seed S is known, seeds above S are moot.
+    std::atomic<std::uint64_t> cutoff{count};
+
+    const auto worker = [&] {
+        for (;;) {
+            const std::uint64_t i = next.fetch_add(1);
+            if (i >= count || i >= cutoff.load())
+                return;
+            auto f = runFuzzSeed(spec, base_seed + i);
+            if (!f)
+                continue;
+            std::lock_guard<std::mutex> lock(mu);
+            if (!best || f->seed < best->seed) {
+                best = std::move(*f);
+                std::uint64_t cur = cutoff.load();
+                while (i < cur && !cutoff.compare_exchange_weak(cur, i)) {
+                }
+            }
+        }
+    };
+
+    jobs = std::max(1u, jobs);
+    if (jobs <= 1 || count <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        const unsigned n = std::min(jobs, count);
+        pool.reserve(n);
+        for (unsigned t = 0; t < n; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    return best;
+}
+
+FuzzFailure
+shrinkFuzzFailure(const FuzzSpec &spec, const FuzzFailure &failure)
+{
+    FuzzFailure best = failure;
+    if (best.programs.empty())
+        best.programs = generateFuzzPrograms(spec, best.seed);
+
+    // Greedy ddmin: per hart, try dropping chunks (half, quarter, ...,
+    // single op); keep any removal that still reproduces *a* failure.
+    // Bounded so pathological cases cannot run away.
+    unsigned trials = 0;
+    const unsigned max_trials = 500;
+    bool improved = true;
+    while (improved && trials < max_trials) {
+        improved = false;
+        for (unsigned h = 0; h < spec.harts; ++h) {
+            const std::size_t len = best.programs[h].size();
+            for (std::size_t chunk = std::max<std::size_t>(len / 2, 1);
+                 chunk >= 1; chunk /= 2) {
+                for (std::size_t start = 0;
+                     start < best.programs[h].size();) {
+                    if (trials >= max_trials)
+                        break;
+                    std::vector<Program> cand = best.programs;
+                    Program &p = cand[h];
+                    const std::size_t end =
+                        std::min(start + chunk, p.size());
+                    p.erase(p.begin() + static_cast<std::ptrdiff_t>(start),
+                            p.begin() + static_cast<std::ptrdiff_t>(end));
+                    ++trials;
+                    if (auto f =
+                            runFuzzPrograms(spec, best.seed, cand)) {
+                        best = std::move(*f);
+                        improved = true;
+                        // Same start now names the next chunk; retry.
+                    } else {
+                        start += chunk;
+                    }
+                }
+                if (chunk == 1)
+                    break;
+            }
+        }
+    }
+    return best;
+}
+
+bool
+writeReplayBundle(const FuzzSpec &spec, const FuzzFailure &failure,
+                  const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        warn("fuzz: cannot create bundle dir ", dir, ": ", ec.message());
+        return false;
+    }
+    const auto write = [&](const std::string &name,
+                           const std::string &text) {
+        std::ofstream out(dir + "/" + name);
+        out << text;
+        return static_cast<bool>(out);
+    };
+
+    std::ostringstream cfg;
+    cfg << "seed " << failure.seed << "\n"
+        << "harts " << spec.harts << "\n"
+        << "ops " << spec.ops << "\n"
+        << "lines " << spec.lines << "\n"
+        << "pool_base 0x" << std::hex << spec.pool_base << std::dec
+        << "\n"
+        << "jitter " << (spec.jitter ? 1 : 0) << "\n"
+        << "max_delay " << spec.max_delay << "\n"
+        << "max_cycles " << spec.max_cycles << "\n"
+        << "fshrs " << spec.fshrs << "\n"
+        << "flush_queue_depth " << spec.flush_queue_depth << "\n"
+        << "break_probe_invalidate "
+        << (spec.break_probe_invalidate ? 1 : 0) << "\n"
+        << "# resolved configuration:\n";
+    std::istringstream desc(fuzzConfig(spec, failure.seed).describe());
+    for (std::string line; std::getline(desc, line);)
+        cfg << "# " << line << "\n";
+    bool ok = write("config.txt", cfg.str());
+
+    std::ostringstream failtxt;
+    failtxt << "kind " << failure.kind << "\n"
+            << "cycle " << failure.cycle << "\n"
+            << "detail " << failure.detail << "\n";
+    ok = write("failure.txt", failtxt.str()) && ok;
+
+    for (std::size_t i = 0; i < failure.programs.size(); ++i) {
+        ok = write("core" + std::to_string(i) + ".s",
+                   disassembleProgram(failure.programs[i])) &&
+             ok;
+    }
+
+    // Re-run with the tracer attached for the trace + txn history. The
+    // run is deterministic, so this reproduces the failure exactly.
+    SoC soc(fuzzConfig(spec, failure.seed));
+    TxnTracer tracer;
+    soc.sim().probes().attach(tracer);
+    soc.setPrograms(failure.programs);
+    runOne(soc, spec);
+    ok = tracer.writeChromeTraceFile(dir + "/trace.json") && ok;
+
+    std::ostringstream hist;
+    const TxnId last = soc.sim().probes().lastTxn();
+    hist << "failure: " << failure.kind << " @ cycle " << failure.cycle
+         << ": " << failure.detail << "\n"
+         << "last transaction " << last << ":\n";
+    if (last != 0)
+        tracer.dumpTxn(last, hist);
+    soc.checker().report(hist);
+    ok = write("txn_history.txt", hist.str()) && ok;
+    return ok;
+}
+
+std::pair<FuzzSpec, std::uint64_t>
+readReplayBundle(const std::string &dir, std::vector<Program> &programs)
+{
+    std::ifstream in(dir + "/config.txt");
+    if (!in)
+        SKIPIT_FATAL("fuzz: cannot open ", dir, "/config.txt");
+    FuzzSpec spec;
+    std::uint64_t seed = 0;
+    for (std::string line; std::getline(in, line);) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "seed")
+            ls >> seed;
+        else if (key == "harts")
+            ls >> spec.harts;
+        else if (key == "ops")
+            ls >> spec.ops;
+        else if (key == "lines")
+            ls >> spec.lines;
+        else if (key == "pool_base")
+            ls >> std::hex >> spec.pool_base >> std::dec;
+        else if (key == "jitter" || key == "max_delay" ||
+                 key == "max_cycles" || key == "fshrs" ||
+                 key == "flush_queue_depth" ||
+                 key == "break_probe_invalidate") {
+            std::uint64_t v = 0;
+            ls >> v;
+            if (key == "jitter")
+                spec.jitter = v != 0;
+            else if (key == "max_delay")
+                spec.max_delay = static_cast<unsigned>(v);
+            else if (key == "max_cycles")
+                spec.max_cycles = v;
+            else if (key == "fshrs")
+                spec.fshrs = static_cast<unsigned>(v);
+            else if (key == "flush_queue_depth")
+                spec.flush_queue_depth = static_cast<unsigned>(v);
+            else
+                spec.break_probe_invalidate = v != 0;
+        } else {
+            SKIPIT_FATAL("fuzz: unknown key '", key, "' in ", dir,
+                         "/config.txt");
+        }
+        if (ls.fail())
+            SKIPIT_FATAL("fuzz: malformed line '", line, "' in ", dir,
+                         "/config.txt");
+    }
+
+    programs.clear();
+    for (unsigned h = 0; h < spec.harts; ++h) {
+        const std::string path =
+            dir + "/core" + std::to_string(h) + ".s";
+        std::ifstream ps(path);
+        if (!ps)
+            SKIPIT_FATAL("fuzz: cannot open ", path);
+        std::stringstream buf;
+        buf << ps.rdbuf();
+        programs.push_back(assembleProgram(buf.str()));
+    }
+    return {spec, seed};
+}
+
+} // namespace skipit::workloads

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The seeded fuzz harness: deterministic replay, failure detection via
+ * the injected fault, shrinking, and replay-bundle round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "workloads/fuzz.hh"
+
+namespace skipit {
+namespace {
+
+using workloads::FuzzFailure;
+using workloads::FuzzSpec;
+
+/** Small and fast, but still aliasing-prone. */
+FuzzSpec
+smallSpec()
+{
+    FuzzSpec spec;
+    spec.harts = 2;
+    spec.ops = 60;
+    spec.lines = 4;
+    spec.max_cycles = 500'000;
+    return spec;
+}
+
+/** The injected probe fault plus the geometry that exposes it: a single
+ *  FSHR keeps flush-queue entries queued long enough to be probed. */
+FuzzSpec
+faultySpec()
+{
+    FuzzSpec spec = smallSpec();
+    spec.fshrs = 1;
+    spec.flush_queue_depth = 8;
+    spec.break_probe_invalidate = true;
+    return spec;
+}
+
+/** A seed that trips the injected fault (verified by the test). */
+std::uint64_t
+faultySeed()
+{
+    auto f = workloads::runFuzz(faultySpec(), 0, 50, 1);
+    EXPECT_TRUE(f.has_value()) << "injected fault never fired";
+    return f ? f->seed : 0;
+}
+
+TEST(Fuzz, GenerationIsDeterministic)
+{
+    const FuzzSpec spec = smallSpec();
+    const auto a = workloads::generateFuzzPrograms(spec, 42);
+    const auto b = workloads::generateFuzzPrograms(spec, 42);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t h = 0; h < a.size(); ++h) {
+        ASSERT_EQ(a[h].size(), b[h].size());
+        for (std::size_t i = 0; i < a[h].size(); ++i) {
+            EXPECT_EQ(static_cast<int>(a[h][i].kind),
+                      static_cast<int>(b[h][i].kind));
+            EXPECT_EQ(a[h][i].addr, b[h][i].addr);
+            EXPECT_EQ(a[h][i].data, b[h][i].data);
+        }
+    }
+    // Different seeds draw different programs.
+    const auto c = workloads::generateFuzzPrograms(spec, 43);
+    bool differs = false;
+    for (std::size_t i = 0; i < std::min(a[0].size(), c[0].size()); ++i)
+        differs = differs || a[0][i].addr != c[0][i].addr ||
+                  a[0][i].data != c[0][i].data;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Fuzz, CleanSeedsStayCleanUnderJitter)
+{
+    // Function must be schedule-invariant: jittered runs of the honest
+    // protocol pass every invariant and every value check.
+    EXPECT_FALSE(workloads::runFuzz(smallSpec(), 0, 25, 2).has_value());
+}
+
+TEST(Fuzz, InjectedFaultIsCaughtAndReplaysDeterministically)
+{
+    const FuzzSpec spec = faultySpec();
+    const std::uint64_t seed = faultySeed();
+    const auto a = workloads::runFuzzSeed(spec, seed);
+    const auto b = workloads::runFuzzSeed(spec, seed);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->kind, "invariant");
+    EXPECT_NE(a->detail.find("probe-invalidate"), std::string::npos)
+        << a->detail;
+    // Same seed, same run: identical failure, bit for bit.
+    EXPECT_EQ(a->kind, b->kind);
+    EXPECT_EQ(a->cycle, b->cycle);
+    EXPECT_EQ(a->detail, b->detail);
+}
+
+TEST(Fuzz, ShrinkKeepsFailureAndNeverGrows)
+{
+    const FuzzSpec spec = faultySpec();
+    const auto f = workloads::runFuzzSeed(spec, faultySeed());
+    ASSERT_TRUE(f.has_value());
+    const auto size = [](const FuzzFailure &x) {
+        std::size_t n = 0;
+        for (const Program &p : x.programs)
+            n += p.size();
+        return n;
+    };
+    const FuzzFailure shrunk = workloads::shrinkFuzzFailure(spec, *f);
+    EXPECT_LE(size(shrunk), size(*f));
+    // The shrunk variant must still reproduce.
+    const auto again =
+        workloads::runFuzzPrograms(spec, shrunk.seed, shrunk.programs);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->kind, shrunk.kind);
+    EXPECT_EQ(again->cycle, shrunk.cycle);
+}
+
+TEST(Fuzz, ReplayBundleRoundTrips)
+{
+    const FuzzSpec spec = faultySpec();
+    const auto f = workloads::runFuzzSeed(spec, faultySeed());
+    ASSERT_TRUE(f.has_value());
+
+    const std::string dir =
+        ::testing::TempDir() + "/skipit_fuzz_bundle";
+    std::filesystem::remove_all(dir);
+    ASSERT_TRUE(workloads::writeReplayBundle(spec, *f, dir));
+    for (const char *file :
+         {"config.txt", "core0.s", "core1.s", "failure.txt",
+          "trace.json", "txn_history.txt"}) {
+        EXPECT_TRUE(std::filesystem::exists(dir + "/" + file)) << file;
+    }
+
+    std::vector<Program> programs;
+    const auto [rspec, rseed] =
+        workloads::readReplayBundle(dir, programs);
+    EXPECT_EQ(rseed, f->seed);
+    EXPECT_EQ(rspec.harts, spec.harts);
+    EXPECT_EQ(rspec.fshrs, spec.fshrs);
+    EXPECT_TRUE(rspec.break_probe_invalidate);
+
+    const auto replayed =
+        workloads::runFuzzPrograms(rspec, rseed, programs);
+    ASSERT_TRUE(replayed.has_value());
+    EXPECT_EQ(replayed->kind, f->kind);
+    EXPECT_EQ(replayed->cycle, f->cycle);
+    EXPECT_EQ(replayed->detail, f->detail);
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace skipit

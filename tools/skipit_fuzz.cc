@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Seeded coherence fuzzer CLI: sweep seeds of random multi-hart
+ * CBO-heavy programs under the invariant checker and (optionally)
+ * TileLink schedule jitter; on failure, shrink the program and emit a
+ * deterministic replay bundle.
+ *
+ * Examples:
+ *
+ *   skipit-fuzz --seeds 200 -j8                      # smoke sweep
+ *   skipit-fuzz --seeds 500 --harts 4 --no-jitter
+ *   skipit-fuzz --seeds 50 --break-probe-invalidate  # must fail
+ *   skipit-fuzz --replay /tmp/bundle                 # re-run a bundle
+ *
+ * Exit status: 0 when every seed is clean (or the replayed bundle no
+ * longer fails), 1 when a failure was found (or a replay reproduced).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "workloads/fuzz.hh"
+
+using namespace skipit;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: skipit-fuzz [--seeds N] [--seed-base S] [--harts H]\n"
+        "                   [--ops N] [--lines N] [--max-cycles C]\n"
+        "                   [--no-jitter] [--max-delay D] [-j N]\n"
+        "                   [--fshrs N] [--queue N]\n"
+        "                   [--bundle-dir DIR] [--no-shrink]\n"
+        "                   [--break-probe-invalidate]\n"
+        "       skipit-fuzz --replay DIR\n");
+}
+
+std::uint64_t
+parseU64(const char *what, const std::string &token)
+{
+    try {
+        return std::stoull(token, nullptr, 0);
+    } catch (const std::exception &) {
+        std::fprintf(stderr, "skipit-fuzz: bad %s: '%s'\n", what,
+                     token.c_str());
+        std::exit(2);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    workloads::FuzzSpec spec;
+    std::uint64_t seed_base = 0;
+    unsigned seeds = 100;
+    unsigned jobs = 1;
+    bool shrink = true;
+    std::string bundle_dir = "fuzz-bundle";
+    std::string replay_dir;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "skipit-fuzz: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seeds")
+            seeds = static_cast<unsigned>(parseU64("count", next()));
+        else if (arg == "--seed-base")
+            seed_base = parseU64("seed", next());
+        else if (arg == "--harts")
+            spec.harts = static_cast<unsigned>(parseU64("harts", next()));
+        else if (arg == "--ops")
+            spec.ops = static_cast<unsigned>(parseU64("ops", next()));
+        else if (arg == "--lines")
+            spec.lines = static_cast<unsigned>(parseU64("lines", next()));
+        else if (arg == "--max-cycles")
+            spec.max_cycles = parseU64("cycles", next());
+        else if (arg == "--no-jitter")
+            spec.jitter = false;
+        else if (arg == "--max-delay")
+            spec.max_delay =
+                static_cast<unsigned>(parseU64("delay", next()));
+        else if (arg == "--fshrs")
+            spec.fshrs = static_cast<unsigned>(parseU64("fshrs", next()));
+        else if (arg == "--queue")
+            spec.flush_queue_depth =
+                static_cast<unsigned>(parseU64("depth", next()));
+        else if (arg == "-j")
+            jobs = static_cast<unsigned>(parseU64("jobs", next()));
+        else if (arg.rfind("-j", 0) == 0 && arg.size() > 2)
+            jobs = static_cast<unsigned>(parseU64("jobs", arg.substr(2)));
+        else if (arg == "--bundle-dir")
+            bundle_dir = next();
+        else if (arg == "--no-shrink")
+            shrink = false;
+        else if (arg == "--break-probe-invalidate")
+            spec.break_probe_invalidate = true;
+        else if (arg == "--replay")
+            replay_dir = next();
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+
+    if (!replay_dir.empty()) {
+        std::vector<Program> programs;
+        const auto [rspec, seed] =
+            workloads::readReplayBundle(replay_dir, programs);
+        std::cout << "replaying " << replay_dir << " (seed " << seed
+                  << ", " << rspec.harts << " harts)\n";
+        if (auto f = workloads::runFuzzPrograms(rspec, seed, programs)) {
+            std::cout << "reproduced: " << f->kind << " @ cycle "
+                      << f->cycle << ": " << f->detail << "\n";
+            return 1;
+        }
+        std::cout << "clean: the bundle no longer fails\n";
+        return 0;
+    }
+
+    std::cout << "fuzzing " << seeds << " seeds from " << seed_base
+              << " (" << spec.harts << " harts, " << spec.ops
+              << " ops, " << spec.lines << " lines, jitter "
+              << (spec.jitter ? "on" : "off") << ", " << jobs
+              << " jobs)\n";
+
+    auto failure = workloads::runFuzz(spec, seed_base, seeds, jobs);
+    if (!failure) {
+        std::cout << "all " << seeds << " seeds clean\n";
+        return 0;
+    }
+
+    std::cout << "seed " << failure->seed << " FAILED (" << failure->kind
+              << " @ cycle " << failure->cycle << "): " << failure->detail
+              << "\n";
+    if (shrink) {
+        const std::size_t before = [&] {
+            std::size_t n = 0;
+            for (const Program &p : failure->programs)
+                n += p.size();
+            return n;
+        }();
+        *failure = workloads::shrinkFuzzFailure(spec, *failure);
+        std::size_t after = 0;
+        for (const Program &p : failure->programs)
+            after += p.size();
+        std::cout << "shrunk " << before << " -> " << after
+                  << " ops; now: " << failure->kind << " @ cycle "
+                  << failure->cycle << ": " << failure->detail << "\n";
+    }
+    if (workloads::writeReplayBundle(spec, *failure, bundle_dir)) {
+        std::cout << "replay bundle written to " << bundle_dir
+                  << " (re-run: skipit-fuzz --replay " << bundle_dir
+                  << ")\n";
+    }
+    return 1;
+}
