@@ -35,9 +35,9 @@ memOpName(MemOpKind k)
 } // namespace
 
 Lsu::Lsu(std::string name, Simulator &sim, const LsuConfig &cfg,
-         DataCache &dcache, Stats &stats)
+         DataCache &dcache, Stats &stats, AgentId source)
     : Ticked(std::move(name)), sim_(sim), cfg_(cfg), dcache_(dcache),
-      stats_(stats), sp_(Ticked::name() + ".")
+      stats_(stats), source_(source), sp_(Ticked::name() + ".")
 {
     SKIPIT_ASSERT(cfg.window > 0, "LSU window must be > 0");
 }
@@ -145,6 +145,7 @@ Lsu::toCpuReq(const Entry &e) const
     req.data = e.op.data;
     req.id = e.ticket;
     req.txn = e.txn;
+    req.source = source_;
     switch (e.op.kind) {
       case MemOpKind::Load:
         req.kind = CpuOpKind::Load;

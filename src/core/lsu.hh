@@ -47,8 +47,12 @@ struct LsuConfig
 class Lsu : public Ticked
 {
   public:
+    /** @param source the TileLink source (agent) id of the core this LSU
+     *  belongs to; stamped on every CpuReq so the data cache can assert
+     *  that requests arrive at the port matching their origin once the
+     *  memory side is a routed crossbar. */
     Lsu(std::string name, Simulator &sim, const LsuConfig &cfg,
-        DataCache &dcache, Stats &stats);
+        DataCache &dcache, Stats &stats, AgentId source = invalid_agent);
 
     void tick() override;
     Cycle nextWake() const override;
@@ -93,6 +97,7 @@ class Lsu : public Ticked
     LsuConfig cfg_;
     DataCache &dcache_;
     Stats &stats_;
+    AgentId source_;
     std::string sp_;
 
     std::deque<Entry> window_;

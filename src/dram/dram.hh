@@ -79,6 +79,11 @@ class Dram : public Ticked
 
     bool respReady() const { return resp_q_.ready(); }
 
+    /** The response popResp() would return; undefined unless
+     *  respReady(). Slices peek the tag to take only their own
+     *  completions off the shared controller in head-of-line order. */
+    const MemResp &peekResp() const { return resp_q_.front(); }
+
     /** Quiescence: cycle the earliest queued response becomes visible to
      *  the LLC; wake_never when none is in flight. */
     Cycle respWakeAt() const;

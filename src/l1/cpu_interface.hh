@@ -73,6 +73,10 @@ struct CpuReq
     std::uint64_t data = 0;   //!< store payload
     std::uint64_t id = 0;     //!< LSU tag echoed in the response
     TxnId txn = 0;            //!< observability transaction id
+    /** TileLink source id of the issuing core; invalid_agent from legacy
+     *  callers that predate the crossbar. The data cache asserts that a
+     *  stamped request arrived at the cache owning that source id. */
+    AgentId source = invalid_agent;
 };
 
 /** The data cache's reply. */

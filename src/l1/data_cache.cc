@@ -183,6 +183,8 @@ DataCache::quiesced() const
 void
 DataCache::submit(const CpuReq &req)
 {
+    SKIPIT_ASSERT(req.source == invalid_agent || req.source == id_,
+                  "CpuReq submitted to a cache with a different source id");
     in_q_.push(req);
 }
 

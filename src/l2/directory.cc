@@ -2,8 +2,8 @@
 
 namespace skipit {
 
-Directory::Directory(unsigned sets, unsigned ways)
-    : sets_(sets), ways_(ways),
+Directory::Directory(unsigned sets, unsigned ways, unsigned index_shift)
+    : sets_(sets), ways_(ways), index_shift_(index_shift),
       entries_(static_cast<std::size_t>(sets) * ways),
       lru_stamp_(entries_.size(), 0), locked_(entries_.size(), false)
 {

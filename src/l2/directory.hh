@@ -68,7 +68,14 @@ struct DirEntry
 class Directory
 {
   public:
-    Directory(unsigned sets, unsigned ways);
+    /**
+     * @param index_shift extra address bits skipped between the line
+     *        offset and the set index. An address-interleaved L2 slice
+     *        passes its slice-bit count here so that the lines it homes
+     *        (which share their slice bits) spread across all its sets
+     *        instead of aliasing into every slices-th one.
+     */
+    Directory(unsigned sets, unsigned ways, unsigned index_shift = 0);
 
     unsigned sets() const { return sets_; }
     unsigned ways() const { return ways_; }
@@ -76,7 +83,8 @@ class Directory
     unsigned
     setOf(Addr line_addr) const
     {
-        return static_cast<unsigned>((line_addr >> line_shift) % sets_);
+        return static_cast<unsigned>(
+            (line_addr >> (line_shift + index_shift_)) % sets_);
     }
 
     Addr
@@ -115,6 +123,7 @@ class Directory
   private:
     unsigned sets_;
     unsigned ways_;
+    unsigned index_shift_;
     std::vector<DirEntry> entries_;
     std::vector<std::uint64_t> lru_stamp_;
     std::vector<bool> locked_;

@@ -9,6 +9,11 @@ namespace {
 /** Untracked DRAM tags (fire-and-forget victim writebacks) set this bit. */
 constexpr std::uint64_t untracked_bit = std::uint64_t{1} << 63;
 
+/** Tracked tags carry the issuing slice above the MSHR index, so the
+ *  slices sharing one DRAM controller can each claim only their own
+ *  completions. */
+constexpr unsigned tag_slice_shift = 32;
+
 const char *
 mshrStateName(int state)
 {
@@ -38,20 +43,35 @@ mshrStateName(int state)
 } // namespace
 
 InclusiveCache::InclusiveCache(std::string name, Simulator &sim,
-                               const L2Config &cfg, Dram &dram, Stats &stats)
+                               const L2Config &cfg, Dram &dram, Stats &stats,
+                               unsigned slice)
     : Ticked(std::move(name)), sim_(sim), cfg_(cfg), dram_(dram),
-      stats_(stats), dir_(cfg.sets, cfg.ways), store_(cfg.sets, cfg.ways),
+      stats_(stats), slice_(slice), slice_count_(std::max(1u, cfg.slices)),
+      dir_(cfg.sets / std::max(1u, cfg.slices), cfg.ways,
+           sliceBits(std::max(1u, cfg.slices))),
+      store_(cfg.sets / std::max(1u, cfg.slices), cfg.ways),
       mshrs_(cfg.mshrs), list_buffer_(cfg.list_buffer_cap)
 {
+    SKIPIT_ASSERT(slice_count_ <= cfg.sets &&
+                      cfg.sets % slice_count_ == 0,
+                  "L2 slice count must divide the set count");
+    SKIPIT_ASSERT(slice_ < slice_count_, "L2 slice index out of range");
 }
 
 void
 InclusiveCache::connectClient(AgentId id, TLLink &link)
 {
-    if (static_cast<std::size_t>(id) >= links_.size())
-        links_.resize(id + 1, nullptr);
-    SKIPIT_ASSERT(links_[id] == nullptr, "client ", id, " already connected");
-    links_[id] = &link;
+    owned_ports_.push_back(std::make_unique<TLDirectPort>(link));
+    connectPort(id, *owned_ports_.back());
+}
+
+void
+InclusiveCache::connectPort(AgentId id, TLClientPort &port)
+{
+    if (static_cast<std::size_t>(id) >= ports_.size())
+        ports_.resize(id + 1, nullptr);
+    SKIPIT_ASSERT(ports_[id] == nullptr, "client ", id, " already connected");
+    ports_[id] = &port;
 }
 
 void
@@ -93,15 +113,9 @@ InclusiveCache::nextWake() const
         // wait_until passes; !dram_.canAccept() stalls just spin.
         wake = std::min(wake, std::max(m.wait_until, now));
     }
-    for (const TLLink *l : links_) {
-        if (l == nullptr)
-            continue;
-        if (!l->a.empty())
-            wake = std::min(wake, std::max(l->a.nextArrival(), now));
-        if (!l->c.empty())
-            wake = std::min(wake, std::max(l->c.nextArrival(), now));
-        if (!l->e.empty())
-            wake = std::min(wake, std::max(l->e.nextArrival(), now));
+    for (const TLClientPort *p : ports_) {
+        if (p != nullptr)
+            wake = std::min(wake, p->inboundWakeAt(now));
     }
     return wake;
 }
@@ -132,6 +146,37 @@ InclusiveCache::isDirty(Addr line_addr) const
     return dir_.entry(dir_.setOf(line), static_cast<unsigned>(way)).dirty;
 }
 
+std::optional<Addr>
+InclusiveCache::firstForeignLine(bool scan_directory) const
+{
+    if (slice_count_ <= 1)
+        return std::nullopt;
+    for (const Mshr &m : mshrs_) {
+        if (!m.valid)
+            continue;
+        if (!homesLine(m.line))
+            return m.line;
+        if (m.has_victim && !homesLine(m.victim_line))
+            return m.victim_line;
+    }
+    for (const CMsg &msg : list_buffer_) {
+        if (!homesLine(msg.addr))
+            return msg.addr;
+    }
+    if (scan_directory) {
+        for (unsigned set = 0; set < dir_.sets(); ++set) {
+            for (unsigned way = 0; way < dir_.ways(); ++way) {
+                if (!dir_.entry(set, way).valid)
+                    continue;
+                const Addr line = dir_.addrOf(set, way);
+                if (!homesLine(line))
+                    return line;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
 bool
 InclusiveCache::lineBusy(Addr line_addr) const
 {
@@ -148,20 +193,41 @@ InclusiveCache::lineBusy(Addr line_addr) const
 std::uint64_t
 InclusiveCache::dramTagFor(unsigned mshr_idx, bool tracked) const
 {
+    const std::uint64_t slice_field = static_cast<std::uint64_t>(slice_)
+                                      << tag_slice_shift;
     if (tracked)
-        return mshr_idx;
-    return untracked_bit | untracked_tag_;
+        return slice_field | mshr_idx;
+    return untracked_bit | slice_field | untracked_tag_;
+}
+
+bool
+InclusiveCache::dramTagMine(std::uint64_t tag) const
+{
+    return ((tag >> tag_slice_shift) & ~(untracked_bit >> tag_slice_shift))
+           == slice_;
 }
 
 void
 InclusiveCache::drainDramResponses()
 {
     while (dram_.respReady()) {
+        if (dram_.peekResp().tag & untracked_bit) {
+            // Fire-and-forget victim writeback: whichever slice looks
+            // first discards it (the tick order makes this
+            // deterministic).
+            dram_.popResp();
+            continue;
+        }
+        if (!dramTagMine(dram_.peekResp().tag)) {
+            // Head-of-line completion belongs to a sibling slice; it
+            // claims it in its own tick this same executed cycle.
+            break;
+        }
         const MemResp resp = dram_.popResp();
-        if (resp.tag & untracked_bit)
-            continue; // fire-and-forget victim writeback
-        SKIPIT_ASSERT(resp.tag < mshrs_.size(), "bad DRAM tag");
-        Mshr &m = mshrs_[resp.tag];
+        const std::uint64_t idx =
+            resp.tag & ((std::uint64_t{1} << tag_slice_shift) - 1);
+        SKIPIT_ASSERT(idx < mshrs_.size(), "bad DRAM tag");
+        Mshr &m = mshrs_[idx];
         SKIPIT_ASSERT(m.valid && m.awaiting_dram,
                       "DRAM response for idle MSHR");
         m.awaiting_dram = false;
@@ -225,7 +291,7 @@ InclusiveCache::handleRelease(const CMsg &msg)
     ack.addr = msg.addr;
     ack.dest = msg.source;
     ack.txn = msg.txn;
-    links_[msg.source]->d.send(ack, 1, cfg_.data_latency);
+    ports_[msg.source]->sendD(ack, 1, cfg_.data_latency);
 }
 
 void
@@ -284,11 +350,11 @@ InclusiveCache::handleProbeAck(const CMsg &msg)
 void
 InclusiveCache::acceptChannelC()
 {
-    for (TLLink *link : links_) {
-        if (!link)
+    for (TLClientPort *port : ports_) {
+        if (!port)
             continue;
-        while (link->c.ready()) {
-            const CMsg msg = link->c.recv();
+        while (port->cReady()) {
+            const CMsg msg = port->cPop();
             switch (msg.op) {
               case COp::ProbeAck:
               case COp::ProbeAckData:
@@ -321,11 +387,11 @@ InclusiveCache::acceptChannelC()
 void
 InclusiveCache::acceptChannelE()
 {
-    for (TLLink *link : links_) {
-        if (!link)
+    for (TLClientPort *port : ports_) {
+        if (!port)
             continue;
-        while (link->e.ready()) {
-            const EMsg msg = link->e.recv();
+        while (port->eReady()) {
+            const EMsg msg = port->ePop();
             const int idx = mshrForLine(msg.addr);
             SKIPIT_ASSERT(idx >= 0, "GrantAck with no MSHR");
             Mshr &m = mshrs_[static_cast<unsigned>(idx)];
@@ -357,15 +423,15 @@ InclusiveCache::retryListBuffer()
 void
 InclusiveCache::acceptChannelA()
 {
-    for (TLLink *link : links_) {
-        if (!link)
+    for (TLClientPort *port : ports_) {
+        if (!port)
             continue;
         // Head-of-line per client: an Acquire that conflicts with an
         // in-flight transaction back-pressures the channel.
-        while (link->a.ready()) {
-            if (!tryAllocAcquire(link->a.front()))
+        while (port->aReady()) {
+            if (!tryAllocAcquire(port->aFront()))
                 break;
-            link->a.recv();
+            port->aPop();
         }
     }
 }
@@ -475,7 +541,7 @@ std::vector<AgentId>
 InclusiveCache::holdersOf(const DirEntry &e, AgentId except) const
 {
     std::vector<AgentId> out;
-    for (AgentId id = 0; id < static_cast<AgentId>(links_.size()); ++id) {
+    for (AgentId id = 0; id < static_cast<AgentId>(ports_.size()); ++id) {
         if (id == except)
             continue;
         if (e.heldBy(id))
@@ -496,7 +562,7 @@ InclusiveCache::startProbes(Mshr &m, Addr line, Cap cap,
         probe.addr = line;
         probe.param = cap;
         probe.txn = m.txn;
-        links_[id]->b.send(probe);
+        ports_[id]->sendB(probe);
         stats_["l2.probes"]++;
     }
 }
@@ -768,8 +834,8 @@ InclusiveCache::tickMshr(unsigned idx)
             ack.addr = m.line;
             ack.dest = m.requester;
             ack.txn = m.txn;
-            links_[m.requester]->d.send(ack, 1,
-                                        cfg_.rootrelease_ack_latency);
+            ports_[m.requester]->sendD(ack, 1,
+                                       cfg_.rootrelease_ack_latency);
             if (sim_.probes().active()) {
                 sim_.probes().end(sim_.now(), m.txn, "l2.mshr",
                                   name() + ".mshr" + std::to_string(idx),
@@ -809,7 +875,7 @@ InclusiveCache::tickMshr(unsigned idx)
         grant.data = store_.read(m.set, static_cast<unsigned>(m.way));
         grant.dest = m.requester;
         grant.txn = m.txn;
-        links_[m.requester]->d.send(grant, TLLink::beatsFor(grant));
+        ports_[m.requester]->sendD(grant, TLLink::beatsFor(grant));
         stats_[grant.op == DOp::GrantDataDirty ? "l2.grants.dirty"
                                                : "l2.grants.clean"]++;
         SKIPIT_TRACE_LOG(sim_.now(), "l2", name(), " grant",
@@ -849,7 +915,7 @@ InclusiveCache::snapshotResources(
         probe::ResourceSnapshot snap;
         snap.name = name() + ".mshr" + std::to_string(i);
         snap.fingerprint = probe::fingerprint(
-            0, static_cast<std::uint64_t>(m.state), m.line, m.txn,
+            slice_, static_cast<std::uint64_t>(m.state), m.line, m.txn,
             m.pending_acks, m.awaiting_dram);
         snap.txn = m.txn;
         snap.describe =
@@ -862,7 +928,8 @@ InclusiveCache::snapshotResources(
     for (const CMsg &msg : list_buffer_) {
         probe::ResourceSnapshot snap;
         snap.name = name() + ".listbuffer.txn" + std::to_string(msg.txn);
-        snap.fingerprint = probe::fingerprint(0, msg.addr, msg.txn, pos);
+        snap.fingerprint = probe::fingerprint(slice_, msg.addr, msg.txn,
+                                              pos);
         snap.txn = msg.txn;
         snap.describe = "buffered RootRelease at position " +
                         std::to_string(pos);

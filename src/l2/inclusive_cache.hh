@@ -15,6 +15,8 @@
 #define SKIPIT_L2_INCLUSIVE_CACHE_HH
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "banked_store.hh"
@@ -25,6 +27,7 @@
 #include "sim/stats.hh"
 #include "sim/ticked.hh"
 #include "tilelink/link.hh"
+#include "tilelink/xbar.hh"
 
 namespace skipit {
 
@@ -48,26 +51,51 @@ struct L2Config
     /** Respond GrantDataDirty when the granted line is dirty in L2 (§6).
      *  Off = plain GrantData always, i.e. a pre-Skip-It L2. */
     bool grant_data_dirty = true;
+    /** Address-interleaved slice count (power of two). Each slice owns
+     *  sets/slices sets of the total capacity and every line whose
+     *  slice bits (just above the line offset) select it. 1 = the
+     *  paper's single monolithic L2. */
+    unsigned slices = 1;
 };
 
 /**
- * The inclusive LLC. Acts as TileLink manager to each L1 client link and
- * as client to the DRAM controller.
+ * One slice of the inclusive LLC (the whole LLC when L2Config::slices
+ * is 1). Acts as TileLink manager on each client port and as client to
+ * the (shared) DRAM controller, claiming only its own completions by
+ * slice-encoded tag.
  */
 class InclusiveCache : public Ticked, public probe::Inspectable
 {
   public:
+    /** @param slice this instance's slice index in [0, cfg.slices) */
     InclusiveCache(std::string name, Simulator &sim, const L2Config &cfg,
-                   Dram &dram, Stats &stats);
+                   Dram &dram, Stats &stats, unsigned slice = 0);
 
-    /** Attach client @p id's link; call once per L1 before simulating. */
+    /** Attach client @p id's link point-to-point (single-slice wiring
+     *  and unit tests); call once per L1 before simulating. */
     void connectClient(AgentId id, TLLink &link);
+
+    /** Attach client @p id through an externally owned routed port
+     *  (crossbar wiring); call once per client before simulating. */
+    void connectPort(AgentId id, TLClientPort &port);
 
     void tick() override;
     Cycle nextWake() const override;
 
     /** True when no transaction is in flight (quiesced). */
     bool idle() const;
+
+    /// @name Slice geometry
+    /// @{
+    unsigned sliceIndex() const { return slice_; }
+    unsigned sliceCount() const { return slice_count_; }
+    /** Does this slice's address range contain @p line_addr? */
+    bool
+    homesLine(Addr line_addr) const
+    {
+        return sliceOfLine(lineAlign(line_addr), slice_count_) == slice_;
+    }
+    /// @}
 
     /// @name Introspection for tests
     /// @{
@@ -81,6 +109,14 @@ class InclusiveCache : public Ticked, public probe::Inspectable
      *  only fire on lines with no transaction in flight. */
     bool lineBusy(Addr line_addr) const;
     /// @}
+
+    /**
+     * Checker audit: the first in-flight line (MSHR request, eviction
+     * victim, or buffered RootRelease) that does not home to this
+     * slice; with @p scan_directory also any resident foreign line.
+     * Any hit means the interconnect misrouted a request.
+     */
+    std::optional<Addr> firstForeignLine(bool scan_directory) const;
 
     /** Watchdog interface: fingerprint every valid MSHR and buffered
      *  RootRelease (see sim/watchdog.hh). */
@@ -137,7 +173,11 @@ class InclusiveCache : public Ticked, public probe::Inspectable
     Dram &dram_;
     Stats &stats_;
 
-    std::vector<TLLink *> links_;
+    unsigned slice_;
+    unsigned slice_count_;
+    std::vector<TLClientPort *> ports_;
+    /** Ports created by connectClient() (point-to-point wiring). */
+    std::vector<std::unique_ptr<TLDirectPort>> owned_ports_;
     Directory dir_;
     BankedStore store_;
     std::vector<Mshr> mshrs_;
@@ -184,6 +224,8 @@ class InclusiveCache : public Ticked, public probe::Inspectable
     std::vector<AgentId> holdersOf(const DirEntry &e, AgentId except) const;
 
     std::uint64_t dramTagFor(unsigned mshr_idx, bool tracked) const;
+    /** Was this tracked DRAM tag issued by this slice? */
+    bool dramTagMine(std::uint64_t tag) const;
 
     /** Emit a probe instant recording MSHR @p idx's new state. */
     void emitMshrState(unsigned idx) const;

@@ -209,6 +209,14 @@ class CompletionBuffer
         return v;
     }
 
+    /** The entry pop() would return; undefined unless ready(). */
+    const T &
+    front() const
+    {
+        SKIPIT_ASSERT(ready(), "front() on non-ready CompletionBuffer");
+        return buf_.begin()->second;
+    }
+
     bool empty() const { return buf_.empty(); }
     std::size_t size() const { return buf_.size(); }
 

@@ -1,5 +1,6 @@
 #include "soc.hh"
 
+#include <algorithm>
 #include <sstream>
 
 namespace skipit {
@@ -9,9 +10,19 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
     SKIPIT_ASSERT(cfg.cores >= 1 && cfg.cores <= 32,
                   "core count out of range");
 
+    const unsigned slices = std::max(1u, cfg.l2.slices);
+    SKIPIT_ASSERT(!cfg.direct_l2_wiring || slices == 1,
+                  "direct_l2_wiring requires a single L2 slice");
+
     dram_ = std::make_unique<Dram>("dram", sim_, cfg.dram, stats_);
-    l2_ = std::make_unique<InclusiveCache>("l2", sim_, cfg.l2, *dram_,
-                                           stats_);
+    if (!cfg.direct_l2_wiring)
+        xbar_ = std::make_unique<TLXbar>("xbar", sim_, slices);
+    for (unsigned s = 0; s < slices; ++s) {
+        const std::string sn =
+            slices == 1 ? "l2" : "l2.s" + std::to_string(s);
+        l2s_.push_back(std::make_unique<InclusiveCache>(
+            sn, sim_, cfg.l2, *dram_, stats_, s));
+    }
 
     for (unsigned c = 0; c < cfg.cores; ++c) {
         const std::string cn = "core" + std::to_string(c);
@@ -21,22 +32,39 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
         jit.seed = jit.seed * 0x9e3779b97f4a7c15ULL + c + 1;
         links_.push_back(std::make_unique<TLLink>(sim_, cfg.link_latency,
                                                   cn + ".tl", jit));
-        l2_->connectClient(static_cast<AgentId>(c), *links_.back());
+        if (cfg.direct_l2_wiring)
+            l2s_[0]->connectClient(static_cast<AgentId>(c),
+                                   *links_.back());
+        else
+            xbar_->connectClient(static_cast<AgentId>(c), *links_.back());
         l1s_.push_back(std::make_unique<DataCache>(
             cn + ".l1d", sim_, cfg.l1, static_cast<AgentId>(c),
             *links_.back(), stats_));
         lsus_.push_back(std::make_unique<Lsu>(cn + ".lsu", sim_, cfg.lsu,
-                                              *l1s_.back(), stats_));
+                                              *l1s_.back(), stats_,
+                                              static_cast<AgentId>(c)));
         harts_.push_back(std::make_unique<Hart>(cn + ".hart", sim_,
                                                 *lsus_.back(),
                                                 cfg.dispatch_width));
     }
+    if (!cfg.direct_l2_wiring) {
+        for (unsigned s = 0; s < slices; ++s) {
+            for (unsigned c = 0; c < cfg.cores; ++c) {
+                l2s_[s]->connectPort(static_cast<AgentId>(c),
+                                     xbar_->port(s, c));
+            }
+        }
+    }
 
-    // Tick order: memory side first, then caches, then cores. All
-    // cross-component traffic flows through >= 1-cycle queues, so the
-    // order affects nothing but same-cycle wakeups.
+    // Tick order: memory side first, then the crossbar (so wire
+    // arrivals are routed the cycle they land), then caches, then
+    // cores. All cross-component traffic flows through >= 1-cycle
+    // queues, so the order affects nothing but same-cycle wakeups.
     sim_.add(*dram_);
-    sim_.add(*l2_);
+    if (xbar_)
+        sim_.add(*xbar_);
+    for (auto &l2 : l2s_)
+        sim_.add(*l2);
     for (auto &l1 : l1s_)
         sim_.add(*l1);
     for (auto &lsu : lsus_)
@@ -48,7 +76,8 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
     watchdog_ = std::make_unique<Watchdog>("watchdog", sim_, cfg.watchdog);
     for (auto &l1 : l1s_)
         watchdog_->watch(*l1);
-    watchdog_->watch(*l2_);
+    for (auto &l2 : l2s_)
+        watchdog_->watch(*l2);
     sim_.add(*watchdog_);
 
     // The invariant checker ticks after everything (observer only). A
@@ -63,7 +92,8 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
                                                           vcfg);
     for (auto &l1 : l1s_)
         checker_->addL1(*l1);
-    checker_->setL2(*l2_);
+    for (auto &l2 : l2s_)
+        checker_->setL2(*l2);
     checker_->setDram(*dram_);
     sim_.add(*checker_);
 
@@ -92,6 +122,13 @@ SoCConfig::describe() const
        << l2.ways << "-way, " << l2.mshrs << " MSHRs, llc-skip "
        << (l2.llc_skip ? "on" : "off") << ", grant-data-dirty "
        << (l2.grant_data_dirty ? "on" : "off") << "\n"
+       << "topology: "
+       << (direct_l2_wiring ? "direct point-to-point"
+                            : "crossbar, " +
+                                  std::to_string(std::max(1u, l2.slices)) +
+                                  " address-interleaved slice" +
+                                  (std::max(1u, l2.slices) > 1 ? "s" : ""))
+       << "\n"
        << "dram: read " << dram.latency << ", write-ack "
        << dram.write_ack_latency << ", issue interval "
        << dram.issue_interval << "\n"
@@ -139,10 +176,22 @@ SoC::runToQuiescence(Cycle max_cycles)
                 if (!l1->quiesced())
                     return false;
             }
-            return l2_->idle();
+            return l2Idle();
         },
         max_cycles);
     return sim_.now() - start;
+}
+
+bool
+SoC::l2Idle() const
+{
+    if (xbar_ && !xbar_->idle())
+        return false;
+    for (const auto &l2 : l2s_) {
+        if (!l2->idle())
+            return false;
+    }
+    return true;
 }
 
 void

@@ -22,6 +22,7 @@
 #include "sim/stats.hh"
 #include "sim/watchdog.hh"
 #include "tilelink/link.hh"
+#include "tilelink/xbar.hh"
 #include "verify/checker.hh"
 
 namespace skipit {
@@ -53,6 +54,10 @@ struct SoCConfig
      *  Ticked::nextWake() contract — so there is no reason to turn it
      *  off outside of equivalence tests. */
     bool fast_forward = true;
+    /** Legacy point-to-point L1↔L2 wiring without the crossbar.
+     *  Requires l2.slices == 1. Kept solely so the equivalence tests
+     *  can demonstrate the crossbar at slices=1 is bit-identical. */
+    bool direct_l2_wiring = false;
 
     /** Convenience: toggle every Skip-It-related feature at once. */
     SoCConfig &
@@ -87,7 +92,15 @@ class SoC
     Hart &hart(unsigned core) { return *harts_.at(core); }
     Lsu &lsu(unsigned core) { return *lsus_.at(core); }
     DataCache &l1(unsigned core) { return *l1s_.at(core); }
-    InclusiveCache &l2() { return *l2_; }
+    /** Slice 0 — the whole L2 in the default slices=1 configuration. */
+    InclusiveCache &l2() { return *l2s_.front(); }
+    /** Slice @p slice of the address-interleaved L2. */
+    InclusiveCache &l2(unsigned slice) { return *l2s_.at(slice); }
+    unsigned l2Slices() const { return unsigned(l2s_.size()); }
+    /** True when every L2 slice (and the crossbar) is quiesced. */
+    bool l2Idle() const;
+    /** The memory-side crossbar; nullptr under direct_l2_wiring. */
+    TLXbar *xbar() { return xbar_.get(); }
     Dram &dram() { return *dram_; }
     Watchdog &watchdog() { return *watchdog_; }
     verify::CoherenceChecker &checker() { return *checker_; }
@@ -107,7 +120,8 @@ class SoC
     Simulator sim_;
     Stats stats_;
     std::unique_ptr<Dram> dram_;
-    std::unique_ptr<InclusiveCache> l2_;
+    std::unique_ptr<TLXbar> xbar_;
+    std::vector<std::unique_ptr<InclusiveCache>> l2s_;
     std::vector<std::unique_ptr<TLLink>> links_;
     std::vector<std::unique_ptr<DataCache>> l1s_;
     std::vector<std::unique_ptr<Lsu>> lsus_;

@@ -1,0 +1,423 @@
+/**
+ * @file
+ * A deterministic TileLink crossbar routing N client links onto S
+ * address-interleaved manager slices.
+ *
+ * The paper's platform has exactly one inclusive L2, so the seed wired
+ * each core's TLLink point-to-point into it. Scaled-out designs shard
+ * the shared cache instead (BlackParrot's BedRock distributes its
+ * directory across address-interleaved slices); this crossbar is the
+ * interconnect half of that refactor:
+ *
+ *  - Requests (channels A, C, E) are routed by the slice bits of the
+ *    line address — sliceOfLine() picks bits just above the line
+ *    offset, so consecutive lines stripe across slices.
+ *  - Responses (channels B, D) are routed back by agent id: D by the
+ *    message's dest field, B by the probed client's port identity.
+ *  - Arbitration is deterministic round-robin per channel: each tick
+ *    the drain origin rotates, and because the drain is exhaustive and
+ *    per-(slice, client) FIFOs preserve per-client arrival order, the
+ *    routed schedule is a pure function of the message timeline —
+ *    independent of construction order and of any host parallelism.
+ *
+ * The crossbar adds zero latency: it ticks before the slices, so a
+ * message whose wire arrival is cycle T is visible to its slice's
+ * accept logic in cycle T, exactly as with direct point-to-point
+ * wiring. With one slice the routed system is bit-identical to the
+ * pre-crossbar topology (asserted by the fig09 equivalence test).
+ *
+ * TLClientPort is the manager-side abstraction the L2 consumes: a
+ * TLDirectPort wraps a raw TLLink (unit tests, legacy wiring), while
+ * the crossbar's internal endpoints expose the routed per-slice view.
+ */
+
+#ifndef SKIPIT_TILELINK_XBAR_HH
+#define SKIPIT_TILELINK_XBAR_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "link.hh"
+#include "messages.hh"
+#include "sim/logging.hh"
+#include "sim/ticked.hh"
+
+namespace skipit {
+
+/** log2 of the slice count; slice counts must be powers of two. */
+inline unsigned
+sliceBits(unsigned slices)
+{
+    SKIPIT_ASSERT(slices >= 1 && (slices & (slices - 1)) == 0,
+                  "slice count must be a power of two, got ", slices);
+    unsigned bits = 0;
+    while ((1u << bits) < slices)
+        ++bits;
+    return bits;
+}
+
+/** Home slice of a line: the address bits just above the line offset. */
+inline unsigned
+sliceOfLine(Addr line_addr, unsigned slices)
+{
+    return static_cast<unsigned>((line_addr >> line_shift) &
+                                 (static_cast<Addr>(slices) - 1));
+}
+
+/**
+ * The manager-side view of one client connection. The inclusive cache
+ * accepts inbound A/C/E traffic and issues outbound B/D responses
+ * through this interface without knowing whether the other end is a
+ * raw link or a crossbar slice endpoint.
+ */
+class TLClientPort
+{
+  public:
+    virtual ~TLClientPort() = default;
+
+    /// @name Inbound (client -> manager)
+    /// @{
+    virtual bool aReady() const = 0;
+    virtual const AMsg &aFront() const = 0;
+    virtual AMsg aPop() = 0;
+    virtual bool cReady() const = 0;
+    virtual CMsg cPop() = 0;
+    virtual bool eReady() const = 0;
+    virtual EMsg ePop() = 0;
+    /// @}
+
+    /// @name Outbound (manager -> client)
+    /// @{
+    virtual void sendB(const BMsg &m) = 0;
+    virtual void sendD(const DMsg &m, unsigned beats, Cycle extra = 0) = 0;
+    /// @}
+
+    /** Earliest cycle inbound work may become consumable, clamped to
+     *  @p now; wake_never when nothing is in flight. */
+    virtual Cycle inboundWakeAt(Cycle now) const = 0;
+};
+
+/** A port wrapping the manager end of a point-to-point TLLink. */
+class TLDirectPort final : public TLClientPort
+{
+  public:
+    explicit TLDirectPort(TLLink &link) : link_(link) {}
+
+    bool aReady() const override { return link_.a.ready(); }
+    const AMsg &aFront() const override { return link_.a.front(); }
+    AMsg aPop() override { return link_.a.recv(); }
+    bool cReady() const override { return link_.c.ready(); }
+    CMsg cPop() override { return link_.c.recv(); }
+    bool eReady() const override { return link_.e.ready(); }
+    EMsg ePop() override { return link_.e.recv(); }
+
+    void sendB(const BMsg &m) override { link_.b.send(m); }
+
+    void
+    sendD(const DMsg &m, unsigned beats, Cycle extra = 0) override
+    {
+        link_.d.send(m, beats, extra);
+    }
+
+    Cycle
+    inboundWakeAt(Cycle now) const override
+    {
+        Cycle wake = Ticked::wake_never;
+        if (!link_.a.empty())
+            wake = std::min(wake, std::max(link_.a.nextArrival(), now));
+        if (!link_.c.empty())
+            wake = std::min(wake, std::max(link_.c.nextArrival(), now));
+        if (!link_.e.empty())
+            wake = std::min(wake, std::max(link_.e.nextArrival(), now));
+        return wake;
+    }
+
+  private:
+    TLLink &link_;
+};
+
+/** See file comment. */
+class TLXbar final : public Ticked
+{
+  public:
+    TLXbar(std::string name, const Simulator &sim, unsigned slices)
+        : Ticked(std::move(name)), sim_(sim), slices_(slices),
+          slice_bits_(sliceBits(slices)), a_routed_(slices, 0),
+          c_routed_(slices, 0), e_routed_(slices, 0)
+    {
+    }
+
+    unsigned slices() const { return slices_; }
+    /** Width of the slice-selection field, in address bits. */
+    unsigned sliceBitCount() const { return slice_bits_; }
+    unsigned clients() const
+    {
+        return static_cast<unsigned>(links_.size());
+    }
+
+    /** Attach client @p id's link; call once per client before the
+     *  first tick, then port() the endpoints into the slices. */
+    void
+    connectClient(AgentId id, TLLink &link)
+    {
+        if (static_cast<std::size_t>(id) >= links_.size()) {
+            links_.resize(id + 1, nullptr);
+            for (auto &row : endpoints_)
+                row.resize(id + 1);
+        }
+        SKIPIT_ASSERT(links_[id] == nullptr, "xbar client ", id,
+                      " already connected");
+        links_[id] = &link;
+        if (endpoints_.empty())
+            endpoints_.resize(slices_);
+        for (unsigned s = 0; s < slices_; ++s) {
+            if (endpoints_[s].size() < links_.size())
+                endpoints_[s].resize(links_.size());
+            endpoints_[s][id] = std::make_unique<Endpoint>(*this, id);
+        }
+    }
+
+    /** The routed port slice @p slice sees for client @p client. */
+    TLClientPort &
+    port(unsigned slice, AgentId client)
+    {
+        SKIPIT_ASSERT(slice < slices_ &&
+                          static_cast<std::size_t>(client) <
+                              endpoints_[slice].size() &&
+                          endpoints_[slice][client] != nullptr,
+                      "xbar port (", slice, ", ", client, ") not wired");
+        return *endpoints_[slice][client];
+    }
+
+    /**
+     * Drain every wire-arrived A/C/E message into its slice endpoint.
+     * The drain origin rotates per channel each tick (round-robin);
+     * per-(slice, client) FIFOs keep each client's arrival order, so
+     * the schedule seen by the slices is deterministic regardless of
+     * how many clients contend in one cycle.
+     */
+    void
+    tick() override
+    {
+        const unsigned n = clients();
+        if (n == 0)
+            return;
+        for (unsigned i = 0; i < n; ++i)
+            drainClientA((rr_a_ + i) % n);
+        rr_a_ = (rr_a_ + 1) % n;
+        for (unsigned i = 0; i < n; ++i)
+            drainClientC((rr_c_ + i) % n);
+        rr_c_ = (rr_c_ + 1) % n;
+        for (unsigned i = 0; i < n; ++i)
+            drainClientE((rr_e_ + i) % n);
+        rr_e_ = (rr_e_ + 1) % n;
+    }
+
+    /** Wake when the next client-side message lands on a wire; routed
+     *  endpoints wake their slices themselves. */
+    Cycle
+    nextWake() const override
+    {
+        const Cycle now = sim_.now();
+        Cycle wake = wake_never;
+        for (const TLLink *l : links_) {
+            if (l == nullptr)
+                continue;
+            if (!l->a.empty())
+                wake = std::min(wake, std::max(l->a.nextArrival(), now));
+            if (!l->c.empty())
+                wake = std::min(wake, std::max(l->c.nextArrival(), now));
+            if (!l->e.empty())
+                wake = std::min(wake, std::max(l->e.nextArrival(), now));
+        }
+        return wake;
+    }
+
+    /** No routed message waiting in any endpoint queue. */
+    bool
+    idle() const
+    {
+        for (const auto &row : endpoints_) {
+            for (const auto &ep : row) {
+                if (ep != nullptr && (!ep->aq.empty() || !ep->cq.empty() ||
+                                      !ep->eq.empty())) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    /** Messages routed so far, per channel (unit-test observability). */
+    std::uint64_t routedA(unsigned slice) const { return a_routed_.at(slice); }
+    std::uint64_t routedC(unsigned slice) const { return c_routed_.at(slice); }
+    std::uint64_t routedE(unsigned slice) const { return e_routed_.at(slice); }
+
+    /**
+     * Fault injection (checker negative control): deliver the next
+     * A-channel request to the wrong slice. Requires >= 2 slices. The
+     * coherence checker's slice-routing invariant must name it.
+     */
+    void
+    injectAMisroute()
+    {
+        SKIPIT_ASSERT(slices_ > 1, "misroute injection needs >= 2 slices");
+        misroute_a_ = true;
+    }
+
+  private:
+    /** Routed per-(slice, client) queues; the slice consumes these. */
+    struct Endpoint final : public TLClientPort
+    {
+        Endpoint(TLXbar &xbar, AgentId client)
+            : xbar(xbar), client(client)
+        {
+        }
+
+        bool aReady() const override { return !aq.empty(); }
+        const AMsg &aFront() const override { return aq.front(); }
+
+        AMsg
+        aPop() override
+        {
+            AMsg m = aq.front();
+            aq.pop_front();
+            return m;
+        }
+
+        bool cReady() const override { return !cq.empty(); }
+
+        CMsg
+        cPop() override
+        {
+            CMsg m = cq.front();
+            cq.pop_front();
+            return m;
+        }
+
+        bool eReady() const override { return !eq.empty(); }
+
+        EMsg
+        ePop() override
+        {
+            EMsg m = eq.front();
+            eq.pop_front();
+            return m;
+        }
+
+        void sendB(const BMsg &m) override { xbar.routeB(client, m); }
+
+        void
+        sendD(const DMsg &m, unsigned beats, Cycle extra = 0) override
+        {
+            xbar.routeD(m, beats, extra);
+        }
+
+        Cycle
+        inboundWakeAt(Cycle now) const override
+        {
+            if (!aq.empty() || !cq.empty() || !eq.empty())
+                return now;
+            return Ticked::wake_never;
+        }
+
+        TLXbar &xbar;
+        AgentId client;
+        std::deque<AMsg> aq;
+        std::deque<CMsg> cq;
+        std::deque<EMsg> eq;
+    };
+
+    unsigned
+    routeSliceOf(Addr addr)
+    {
+        unsigned s = sliceOfLine(lineAlign(addr), slices_);
+        if (misroute_a_) {
+            s ^= 1u; // flip the low slice bit: guaranteed wrong home
+            misroute_a_ = false;
+        }
+        return s;
+    }
+
+    void
+    drainClientA(unsigned c)
+    {
+        TLLink *l = links_[c];
+        if (l == nullptr)
+            return;
+        while (l->a.ready()) {
+            AMsg m = l->a.recv();
+            const unsigned s = routeSliceOf(m.addr);
+            endpoints_[s][c]->aq.push_back(std::move(m));
+            ++a_routed_[s];
+        }
+    }
+
+    void
+    drainClientC(unsigned c)
+    {
+        TLLink *l = links_[c];
+        if (l == nullptr)
+            return;
+        while (l->c.ready()) {
+            CMsg m = l->c.recv();
+            const unsigned s = sliceOfLine(lineAlign(m.addr), slices_);
+            endpoints_[s][c]->cq.push_back(std::move(m));
+            ++c_routed_[s];
+        }
+    }
+
+    void
+    drainClientE(unsigned c)
+    {
+        TLLink *l = links_[c];
+        if (l == nullptr)
+            return;
+        while (l->e.ready()) {
+            EMsg m = l->e.recv();
+            const unsigned s = sliceOfLine(lineAlign(m.addr), slices_);
+            endpoints_[s][c]->eq.push_back(std::move(m));
+            ++e_routed_[s];
+        }
+    }
+
+    /** B responses route by the probed client's identity. */
+    void
+    routeB(AgentId client, const BMsg &m)
+    {
+        SKIPIT_ASSERT(static_cast<std::size_t>(client) < links_.size() &&
+                          links_[client] != nullptr,
+                      "xbar: probe for unknown client ", client);
+        links_[client]->b.send(m);
+    }
+
+    /** D responses route by the message's source (dest) id. */
+    void
+    routeD(const DMsg &m, unsigned beats, Cycle extra)
+    {
+        SKIPIT_ASSERT(m.dest != invalid_agent &&
+                          static_cast<std::size_t>(m.dest) < links_.size() &&
+                          links_[m.dest] != nullptr,
+                      "xbar: D response with unroutable dest ", m.dest);
+        links_[m.dest]->d.send(m, beats, extra);
+    }
+
+    const Simulator &sim_;
+    unsigned slices_;
+    unsigned slice_bits_;
+    std::vector<TLLink *> links_;
+    /** endpoints_[slice][client]; unique_ptr keeps addresses stable. */
+    std::vector<std::vector<std::unique_ptr<Endpoint>>> endpoints_;
+    unsigned rr_a_ = 0;
+    unsigned rr_c_ = 0;
+    unsigned rr_e_ = 0;
+    std::vector<std::uint64_t> a_routed_;
+    std::vector<std::uint64_t> c_routed_;
+    std::vector<std::uint64_t> e_routed_;
+    bool misroute_a_ = false;
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_TILELINK_XBAR_HH

@@ -89,10 +89,13 @@ CoherenceChecker::tick()
         checkL1Structural(i);
         checkFshrFsm(i);
     }
+    checkSliceRouting(false);
+    checkGlobalFlushCounter();
     if (cfg_.check_values && cfg_.value_interval > 0 &&
         checks_run_ % cfg_.value_interval == 0) {
         for (std::size_t i = 0; i < l1s_.size(); ++i)
             checkValues(i);
+        checkSliceRouting(true);
     }
     snapshotFshrStates();
 }
@@ -107,6 +110,8 @@ CoherenceChecker::checkNow()
         checkL1Structural(i);
         checkFshrFsm(i);
     }
+    checkSliceRouting(true);
+    checkGlobalFlushCounter();
     if (cfg_.check_values) {
         for (std::size_t i = 0; i < l1s_.size(); ++i)
             checkValues(i);
@@ -166,6 +171,15 @@ CoherenceChecker::fail(const char *invariant, std::string detail)
         violations_.push_back({sim_.now(), invariant, std::move(detail)});
 }
 
+const InclusiveCache *
+CoherenceChecker::homeL2(Addr line) const
+{
+    if (l2s_.empty())
+        return nullptr;
+    return l2s_[sliceOfLine(lineAlign(line),
+                            static_cast<unsigned>(l2s_.size()))];
+}
+
 bool
 CoherenceChecker::lineQuiet(Addr line) const
 {
@@ -173,7 +187,13 @@ CoherenceChecker::lineQuiet(Addr line) const
         if (l1->lineBusy(line))
             return false;
     }
-    return l2_ == nullptr || !l2_->lineBusy(line);
+    // Every slice, not just the home one: a misrouted transaction (the
+    // very fault slice-routing exists to catch) is still in-flight state.
+    for (const InclusiveCache *l2 : l2s_) {
+        if (l2->lineBusy(line))
+            return false;
+    }
+    return true;
 }
 
 void
@@ -211,16 +231,17 @@ CoherenceChecker::checkL1Structural(std::size_t idx)
                 }
             }
 
-            // inclusivity: the directory records (at least) what the L1
-            // actually holds. The reverse is legal in flight.
-            if (l2_ != nullptr) {
-                const Directory &dir = l2_->directory();
+            // inclusivity: the home slice's directory records (at least)
+            // what the L1 actually holds. The reverse is legal in flight.
+            if (const InclusiveCache *l2 = homeL2(line)) {
+                const Directory &dir = l2->directory();
                 const int l2_way = dir.findWay(line);
                 if (l2_way < 0) {
                     fail("inclusivity", detail::concat(
                              "l1[", idx, "] holds 0x", std::hex, line,
                              " (", toString(meta.state),
-                             ") absent from the L2 directory"));
+                             ") absent from L2 slice ", std::dec,
+                             l2->sliceIndex(), "'s directory"));
                     continue;
                 }
                 const DirEntry &e = dir.entry(
@@ -342,11 +363,10 @@ CoherenceChecker::snapshotFshrStates()
 void
 CoherenceChecker::checkValues(std::size_t idx)
 {
-    if (l2_ == nullptr)
+    if (l2s_.empty())
         return;
     const DataCache &dc = *l1s_[idx];
     const L1Arrays &arrays = dc.arrays();
-    const Directory &dir = l2_->directory();
 
     for (unsigned set = 0; set < arrays.sets(); ++set) {
         for (unsigned way = 0; way < arrays.ways(); ++way) {
@@ -358,6 +378,8 @@ CoherenceChecker::checkValues(std::size_t idx)
             const Addr line = arrays.addrOf(set, way);
             if (!lineQuiet(line))
                 continue;
+            const InclusiveCache &l2 = *homeL2(line);
+            const Directory &dir = l2.directory();
             const int l2_way = dir.findWay(line);
             if (l2_way < 0)
                 continue; // inclusivity already reported it
@@ -369,7 +391,7 @@ CoherenceChecker::checkValues(std::size_t idx)
             // of the L2's version (however either got it).
             const LineData &l1_bytes = arrays.data(set, way);
             const LineData &l2_bytes =
-                l2_->store().read(l2_set, static_cast<unsigned>(l2_way));
+                l2.store().read(l2_set, static_cast<unsigned>(l2_way));
             if (std::memcmp(l1_bytes.data(), l2_bytes.data(),
                             line_bytes) != 0) {
                 fail("value-coherence", detail::concat(
@@ -396,26 +418,64 @@ CoherenceChecker::checkL2DramSweep()
     // llc_skip / Inval-discard shortcuts are only sound when this holds.
     // Too wide to run per cycle; checkNow()-only. Assumes no external
     // pokeLine() of resident lines (DMA-style tests poke then CBO.INVAL).
-    if (l2_ == nullptr || dram_ == nullptr)
+    if (l2s_.empty() || dram_ == nullptr)
         return;
-    const Directory &dir = l2_->directory();
-    for (unsigned set = 0; set < dir.sets(); ++set) {
-        for (unsigned way = 0; way < dir.ways(); ++way) {
-            const DirEntry &e = dir.entry(set, way);
-            if (!e.valid || e.dirty)
-                continue;
-            const Addr line = dir.addrOf(set, way);
-            if (!lineQuiet(line))
-                continue;
-            const LineData dram_bytes = dram_->peekLine(line);
-            const LineData &l2_bytes = l2_->store().read(set, way);
-            if (std::memcmp(l2_bytes.data(), dram_bytes.data(),
-                            line_bytes) != 0) {
-                fail("value-coherence", detail::concat(
-                         "L2 clean copy of 0x", std::hex, line,
-                         " differs from DRAM"));
+    for (const InclusiveCache *l2 : l2s_) {
+        const Directory &dir = l2->directory();
+        for (unsigned set = 0; set < dir.sets(); ++set) {
+            for (unsigned way = 0; way < dir.ways(); ++way) {
+                const DirEntry &e = dir.entry(set, way);
+                if (!e.valid || e.dirty)
+                    continue;
+                const Addr line = dir.addrOf(set, way);
+                if (!lineQuiet(line))
+                    continue;
+                const LineData dram_bytes = dram_->peekLine(line);
+                const LineData &l2_bytes = l2->store().read(set, way);
+                if (std::memcmp(l2_bytes.data(), dram_bytes.data(),
+                                line_bytes) != 0) {
+                    fail("value-coherence", detail::concat(
+                             "L2 slice ", l2->sliceIndex(),
+                             " clean copy of 0x", std::hex, line,
+                             " differs from DRAM"));
+                }
             }
         }
+    }
+}
+
+void
+CoherenceChecker::checkSliceRouting(bool deep)
+{
+    for (const InclusiveCache *l2 : l2s_) {
+        if (const auto line = l2->firstForeignLine(deep)) {
+            fail("slice-routing", detail::concat(
+                     "L2 slice ", l2->sliceIndex(),
+                     deep ? " holds" : " is working on", " line 0x",
+                     std::hex, *line, " which homes to slice ", std::dec,
+                     sliceOfLine(lineAlign(*line),
+                                 static_cast<unsigned>(l2s_.size()))));
+        }
+    }
+}
+
+void
+CoherenceChecker::checkGlobalFlushCounter()
+{
+    if (l1s_.empty())
+        return;
+    std::uint64_t counters = 0;
+    std::uint64_t expected = 0;
+    for (const DataCache *l1 : l1s_) {
+        counters += l1->flushCounter();
+        expected += l1->flushQueue().size();
+        for (const Fshr &f : l1->fshrs())
+            expected += f.busy() ? 1 : 0;
+    }
+    if (counters != expected) {
+        fail("flush-counter-global", detail::concat(
+                 "summed flush counters ", counters, " != ", expected,
+                 " total queued + in-FSHR CBO.X across all L1s"));
     }
 }
 

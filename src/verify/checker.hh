@@ -34,6 +34,16 @@
  *                       load-value checking.
  *  - "skip-soundness"   a set skip bit on a clean quiet line implies no
  *                       dirty copy below and bytes identical to DRAM (§6).
+ *  - "slice-routing"    with an address-interleaved L2, every line a
+ *                       slice works on (MSHR request, eviction victim,
+ *                       buffered RootRelease, or — in deep sweeps —
+ *                       directory residence) homes to that slice; a hit
+ *                       means the crossbar misrouted a request.
+ *  - "flush-counter-global" the summed flush counters across all L1s
+ *                       equal the summed queue + FSHR occupancy — the
+ *                       machine-wide fence progress ledger stays
+ *                       conserved even when one flush epoch's
+ *                       RootReleases fan out across several slices.
  *
  * Value/skip checks only fire on *quiet* lines (no FSHR, flush-queue
  * entry, probe, writeback, MSHR or L2 transaction in flight on the line):
@@ -105,7 +115,9 @@ class CoherenceChecker : public Ticked
     /// @name Wiring (SoC construction; all optional)
     /// @{
     void addL1(const DataCache &l1);
-    void setL2(const InclusiveCache &l2) { l2_ = &l2; }
+    /** Register one L2 slice; call once per slice in slice-index order
+     *  (a single call for the monolithic slices=1 L2). */
+    void setL2(const InclusiveCache &l2) { l2s_.push_back(&l2); }
     void setDram(const Dram &dram) { dram_ = &dram; }
     /// @}
 
@@ -135,7 +147,8 @@ class CoherenceChecker : public Ticked
     Simulator &sim_;
     CheckerConfig cfg_;
     std::vector<const DataCache *> l1s_;
-    const InclusiveCache *l2_ = nullptr;
+    /** L2 slices in slice-index order; one entry when slices=1. */
+    std::vector<const InclusiveCache *> l2s_;
     const Dram *dram_ = nullptr;
 
     std::vector<Violation> violations_;
@@ -149,7 +162,16 @@ class CoherenceChecker : public Ticked
     void checkFshrFsm(std::size_t idx);
     void checkValues(std::size_t idx);
     void checkL2DramSweep();
+    /** slice-routing: no slice works on (or, when @p deep, holds) a
+     *  line homing to a sibling. Shallow runs every cycle; the deep
+     *  directory scan runs at value-sweep cadence and in checkNow(). */
+    void checkSliceRouting(bool deep);
+    /** flush-counter-global: machine-wide counter conservation. */
+    void checkGlobalFlushCounter();
     void snapshotFshrStates();
+
+    /** The slice whose address range contains @p line (null if none). */
+    const InclusiveCache *homeL2(Addr line) const;
 
     /** Is any machinery in the whole hierarchy working on @p line? */
     bool lineQuiet(Addr line) const;

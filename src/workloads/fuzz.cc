@@ -95,7 +95,7 @@ runOne(SoC &soc, const FuzzSpec &spec)
             if (!soc.hart(c).done() || !soc.l1(c).quiesced())
                 return false;
         }
-        return soc.l2().idle();
+        return soc.l2Idle();
     };
     soc.sim().runUntil(
         [&] {
@@ -124,6 +124,7 @@ fuzzConfig(const FuzzSpec &spec, std::uint64_t seed)
         cfg.l1.fshrs = spec.fshrs;
     if (spec.flush_queue_depth > 0)
         cfg.l1.flush_queue_depth = spec.flush_queue_depth;
+    cfg.l2.slices = std::max(1u, spec.l2_slices);
     return cfg;
 }
 
@@ -373,6 +374,7 @@ writeReplayBundle(const FuzzSpec &spec, const FuzzFailure &failure,
         << "max_cycles " << spec.max_cycles << "\n"
         << "fshrs " << spec.fshrs << "\n"
         << "flush_queue_depth " << spec.flush_queue_depth << "\n"
+        << "l2_slices " << spec.l2_slices << "\n"
         << "break_probe_invalidate "
         << (spec.break_probe_invalidate ? 1 : 0) << "\n"
         << "# resolved configuration:\n";
@@ -440,7 +442,7 @@ readReplayBundle(const std::string &dir, std::vector<Program> &programs)
             ls >> std::hex >> spec.pool_base >> std::dec;
         else if (key == "jitter" || key == "max_delay" ||
                  key == "max_cycles" || key == "fshrs" ||
-                 key == "flush_queue_depth" ||
+                 key == "flush_queue_depth" || key == "l2_slices" ||
                  key == "break_probe_invalidate") {
             std::uint64_t v = 0;
             ls >> v;
@@ -454,6 +456,8 @@ readReplayBundle(const std::string &dir, std::vector<Program> &programs)
                 spec.fshrs = static_cast<unsigned>(v);
             else if (key == "flush_queue_depth")
                 spec.flush_queue_depth = static_cast<unsigned>(v);
+            else if (key == "l2_slices")
+                spec.l2_slices = static_cast<unsigned>(v);
             else
                 spec.break_probe_invalidate = v != 0;
         } else {

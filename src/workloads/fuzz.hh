@@ -49,6 +49,7 @@ struct FuzzSpec
     unsigned fshrs = 0;       //!< override L1 FSHR count (0 = default);
                               //!< 1 keeps entries queued, the §5.4 corner
     unsigned flush_queue_depth = 0; //!< override queue depth (0 = default)
+    unsigned l2_slices = 1;   //!< address-interleaved L2 slice count
     bool break_probe_invalidate = false; //!< negative-control fault
 };
 

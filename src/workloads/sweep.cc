@@ -357,6 +357,8 @@ applyCycleParam(CycleParams &p, const std::string &name,
         p.cfg.l1.mshrs = static_cast<unsigned>(parseU64(name, token));
     else if (name == "llc_skip")
         p.cfg.l2.llc_skip = parseFlag(name, token);
+    else if (name == "l2_slices")
+        p.cfg.l2.slices = static_cast<unsigned>(parseU64(name, token));
     else if (name == "grant_data_dirty")
         p.cfg.l2.grant_data_dirty = parseFlag(name, token);
     else if (name == "dram_latency")

@@ -1,0 +1,19 @@
+# Run skipit-sweep over the checked-in slice-scaling spec (cores x
+# l2_slices x skip_it) on two workers and diff the CSV against the
+# golden copy: slice count must not perturb determinism, and the
+# l2_slices=1 rows must keep reproducing the monolithic-L2 numbers.
+# Invoked by ctest; see tests/CMakeLists.txt (cli_sweep_slices_golden).
+
+execute_process(
+    COMMAND ${SWEEP_BIN} --spec ${SPEC} -j2 -o ${OUT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "skipit-sweep exited with ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "sweep output differs from golden ${GOLDEN}")
+endif()

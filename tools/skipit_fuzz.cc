@@ -36,7 +36,7 @@ usage()
         "usage: skipit-fuzz [--seeds N] [--seed-base S] [--harts H]\n"
         "                   [--ops N] [--lines N] [--max-cycles C]\n"
         "                   [--no-jitter] [--max-delay D] [-j N]\n"
-        "                   [--fshrs N] [--queue N]\n"
+        "                   [--fshrs N] [--queue N] [--slices N]\n"
         "                   [--bundle-dir DIR] [--no-shrink]\n"
         "                   [--break-probe-invalidate]\n"
         "       skipit-fuzz --replay DIR\n");
@@ -99,6 +99,9 @@ main(int argc, char **argv)
         else if (arg == "--queue")
             spec.flush_queue_depth =
                 static_cast<unsigned>(parseU64("depth", next()));
+        else if (arg == "--slices")
+            spec.l2_slices =
+                static_cast<unsigned>(parseU64("slices", next()));
         else if (arg == "-j")
             jobs = static_cast<unsigned>(parseU64("jobs", next()));
         else if (arg.rfind("-j", 0) == 0 && arg.size() > 2)
