@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Many-core scale-out: wall-clock cost of simulating a 16-hart /
+ * 4-slice SoC under the serial reference engine vs the deterministic
+ * parallel engine at several worker counts. Simulated cycle counts are
+ * identical by construction (docs/PARALLELISM.md); only host time
+ * changes, so this bench is the "when does the parallel engine pay
+ * off" measurement quoted in docs/BENCHMARKING.md.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "common.hh"
+#include "soc/soc.hh"
+
+using namespace skipit;
+
+namespace {
+
+constexpr unsigned bench_cores = 16;
+constexpr unsigned bench_slices = 4;
+constexpr unsigned bench_lines = 256;  // 16 KiB per hart
+constexpr unsigned bench_passes = 8;   // writeback passes per hart
+
+SoCConfig
+manycoreConfig(Simulator::Engine engine, unsigned workers)
+{
+    SoCConfig cfg;
+    cfg.cores = bench_cores;
+    cfg.l2.slices = bench_slices;
+    cfg.engine = engine;
+    cfg.workers = workers;
+    // The checker and watchdog tick serially in the post phase; they are
+    // observers, so drop them to measure the engines, not Amdahl's law.
+    cfg.verify.enabled = false;
+    cfg.watchdog.enabled = false;
+    return cfg;
+}
+
+/** One full run: per-hart dirty + repeated writeback of a private
+ *  region, all harts active every cycle. @return simulated cycles. */
+Cycle
+runManycore(const SoCConfig &cfg)
+{
+    SoC soc(cfg);
+    std::vector<Program> programs;
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        const Addr base = bench::region_base + c * bench::thread_stride;
+        Program p = bench::dirtyRegion(base, bench_lines);
+        Program wb =
+            bench::writebackRegion(base, bench_lines, true, bench_passes);
+        p.insert(p.end(), wb.begin(), wb.end());
+        programs.push_back(std::move(p));
+    }
+    soc.setPrograms(programs);
+    return soc.runToCompletion();
+}
+
+double
+timedRun(const SoCConfig &cfg, Cycle &cycles)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    cycles = runManycore(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+void
+printHeadline()
+{
+    std::printf("=== Many-core scale-out: 16 harts, 4 L2 slices, "
+                "serial vs parallel engine ===\n");
+    Cycle serial_cycles = 0;
+    // Warm-up run to fault in code and the allocator before timing.
+    timedRun(manycoreConfig(Simulator::Engine::serial, 0), serial_cycles);
+    const double serial_ms =
+        timedRun(manycoreConfig(Simulator::Engine::serial, 0),
+                 serial_cycles);
+    std::printf("%10s %8s %14s %12s %9s\n", "engine", "workers",
+                "sim cycles", "wall ms", "speedup");
+    std::printf("%10s %8s %14llu %12.1f %8.2fx\n", "serial", "-",
+                static_cast<unsigned long long>(serial_cycles), serial_ms,
+                1.0);
+    for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+        Cycle cycles = 0;
+        const double ms = timedRun(
+            manycoreConfig(Simulator::Engine::parallel, workers), cycles);
+        std::printf("%10s %8u %14llu %12.1f %8.2fx\n", "parallel",
+                    workers, static_cast<unsigned long long>(cycles), ms,
+                    serial_ms / ms);
+        if (cycles != serial_cycles) {
+            std::printf("ERROR: parallel engine diverged from serial "
+                        "(%llu vs %llu cycles)\n",
+                        static_cast<unsigned long long>(cycles),
+                        static_cast<unsigned long long>(serial_cycles));
+        }
+    }
+    std::printf("\n");
+}
+
+void
+BM_Manycore(benchmark::State &state)
+{
+    const bool parallel = state.range(0) != 0;
+    const unsigned workers = static_cast<unsigned>(state.range(1));
+    const SoCConfig cfg = manycoreConfig(
+        parallel ? Simulator::Engine::parallel : Simulator::Engine::serial,
+        workers);
+    Cycle cycles = 0;
+    for (auto _ : state)
+        cycles = runManycore(cfg);
+    state.counters["sim_cycles"] = static_cast<double>(cycles);
+}
+
+BENCHMARK(BM_Manycore)
+    ->Args({0, 0})
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->Args({1, 4})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printHeadline();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -53,7 +53,12 @@ Lsu::dispatch(const MemOp &op)
     e.ticket = next_ticket_++;
     // Transaction ids are allocated unconditionally so attaching a sink
     // never perturbs ids (and thus never perturbs anything downstream).
-    e.txn = sim_.probes().newTxn();
+    // Each LSU allocates from its own id lane, so the ids it hands out
+    // depend only on its own dispatch history — never on how dispatches
+    // interleave across cores (or across parallel-engine workers).
+    e.txn = sim_.probes().newTxn(
+        source_ == invalid_agent ? 0u
+                                 : static_cast<unsigned>(source_) + 1);
     if (sim_.probes().active()) {
         sim_.probes().begin(
             sim_.now(), e.txn, "lsu.window", name(),

@@ -25,7 +25,9 @@ struct DirEntry
     bool valid = false;
     Addr tag = 0;
     bool dirty = false;
-    std::uint32_t branches = 0;          //!< bitmask of read-only holders
+    /** Bitmask of read-only holders; 64 bits covers the maximum hart
+     *  count (SoCConfig::cores <= 64). */
+    std::uint64_t branches = 0;
     AgentId trunk = invalid_agent;       //!< exclusive owner, if any
 
     bool
@@ -37,7 +39,8 @@ struct DirEntry
     bool
     heldBy(AgentId id) const
     {
-        return trunk == id || (branches & (1u << id)) != 0;
+        return trunk == id ||
+               (branches & (std::uint64_t{1} << id)) != 0;
     }
 
     /** Remove @p id from all holder records. */
@@ -46,7 +49,7 @@ struct DirEntry
     {
         if (trunk == id)
             trunk = invalid_agent;
-        branches &= ~(1u << id);
+        branches &= ~(std::uint64_t{1} << id);
     }
 
     /** Downgrade @p id from trunk to branch, if it was the trunk. */
@@ -55,7 +58,7 @@ struct DirEntry
     {
         if (trunk == id) {
             trunk = invalid_agent;
-            branches |= 1u << id;
+            branches |= std::uint64_t{1} << id;
         }
     }
 };

@@ -863,7 +863,7 @@ InclusiveCache::tickMshr(unsigned idx)
             e.branches = 0;
             e.trunk = m.requester;
         } else {
-            e.branches |= 1u << m.requester;
+            e.branches |= std::uint64_t{1} << m.requester;
         }
         dir_.touch(m.set, static_cast<unsigned>(m.way));
 

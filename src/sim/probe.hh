@@ -18,10 +18,12 @@
 #ifndef SKIPIT_SIM_PROBE_HH
 #define SKIPIT_SIM_PROBE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "logging.hh"
 #include "types.hh"
 
 namespace skipit::probe {
@@ -60,23 +62,78 @@ class Sink
  * only build and emit events when a sink is listening. Transaction ids are
  * handed out unconditionally so that ids are stable whether or not anyone
  * is observing — attaching a tracer never changes simulated behaviour.
+ *
+ * Transaction ids are partitioned into allocation lanes so that the id an
+ * allocator hands out depends only on that allocator's own history, never
+ * on cross-component interleaving: id = (lane << txn_lane_shift) | count.
+ * Each LSU allocates from its own lane, which is what lets the parallel
+ * tick engine hand out ids concurrently and still match the serial engine
+ * bit for bit (see docs/PARALLELISM.md).
+ *
+ * For the parallel engine the hub can also stage events: components that
+ * tick concurrently write into per-component buffers (stageInto() installs
+ * the calling thread's target) and the engine replays the buffers in
+ * registration order at the cycle barrier, so attached sinks observe the
+ * exact serial event stream.
  */
 class Hub
 {
   public:
+    /** Allocation lanes: lane 0 (default) plus one per possible hart. */
+    static constexpr unsigned txn_lanes = 65;
+    /** Bit position of the lane field inside a TxnId. */
+    static constexpr unsigned txn_lane_shift = 44;
+
     /** Is at least one sink attached? Hooks gate on this. */
     bool active() const { return !sinks_.empty(); }
 
     void attach(Sink &sink);
     void detach(Sink &sink);
 
-    /** Allocate the next transaction id (monotonic, never 0). */
-    TxnId newTxn() { return next_txn_++; }
+    /** Allocate the next transaction id in @p lane (per-lane monotonic,
+     *  never 0). Distinct lanes may allocate concurrently. */
+    TxnId
+    newTxn(unsigned lane = 0)
+    {
+        SKIPIT_ASSERT(lane < txn_lanes, "txn lane out of range: ", lane);
+        const TxnId id = (static_cast<TxnId>(lane) << txn_lane_shift) |
+                         ++lanes_[lane].count;
+        last_txn_.store(id, std::memory_order_relaxed);
+        return id;
+    }
 
-    /** Most recently allocated transaction id (0 when none yet). */
-    TxnId lastTxn() const { return next_txn_ - 1; }
+    /** Most recently allocated transaction id (0 when none yet). Under
+     *  the parallel engine this is a best-effort diagnostic value. */
+    TxnId lastTxn() const
+    {
+        return last_txn_.load(std::memory_order_relaxed);
+    }
 
     void emit(const Event &e);
+
+    /// @name Parallel-engine event staging
+    ///
+    /// The engine sizes one buffer per concurrently-ticked component,
+    /// points each worker thread at the buffer of the component it is
+    /// about to tick, and replays all buffers in component registration
+    /// order at the barrier. Threads with no staging target installed
+    /// (the serial engine, and the serial phases of the parallel one)
+    /// dispatch straight to the sinks.
+    /// @{
+
+    /** Size the staging area; must not be called mid-cycle. */
+    void enableStaging(std::size_t buffers);
+
+    /** Route this thread's emits into staging buffer @p index. */
+    void stageInto(std::size_t index);
+
+    /** Stop staging on this thread; emits dispatch to sinks again. */
+    static void unstage();
+
+    /** Dispatch every staged event to the sinks, in buffer-index order,
+     *  and clear the buffers. Call from one thread with no lane active. */
+    void flushStaged();
+    /// @}
 
     /// @name Emission helpers (only call when active())
     /// @{
@@ -91,8 +148,16 @@ class Hub
     /// @}
 
   private:
+    /** One cacheline per lane: lanes allocate with zero false sharing. */
+    struct alignas(64) TxnLane
+    {
+        TxnId count = 0;
+    };
+
     std::vector<Sink *> sinks_;
-    TxnId next_txn_ = 1;
+    std::vector<TxnLane> lanes_{txn_lanes};
+    std::atomic<TxnId> last_txn_{0};
+    std::vector<std::vector<Event>> staged_;
 };
 
 /**

@@ -7,12 +7,15 @@ namespace skipit {
 
 SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
 {
-    SKIPIT_ASSERT(cfg.cores >= 1 && cfg.cores <= 32,
+    SKIPIT_ASSERT(cfg.cores >= 1 && cfg.cores <= 64,
                   "core count out of range");
 
     const unsigned slices = std::max(1u, cfg.l2.slices);
     SKIPIT_ASSERT(!cfg.direct_l2_wiring || slices == 1,
                   "direct_l2_wiring requires a single L2 slice");
+    const bool parallel = cfg.engine == Simulator::Engine::parallel;
+    SKIPIT_ASSERT(!parallel || !cfg.direct_l2_wiring,
+                  "the parallel engine requires the crossbar topology");
 
     dram_ = std::make_unique<Dram>("dram", sim_, cfg.dram, stats_);
     if (!cfg.direct_l2_wiring)
@@ -60,17 +63,25 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
     // arrivals are routed the cycle they land), then caches, then
     // cores. All cross-component traffic flows through >= 1-cycle
     // queues, so the order affects nothing but same-cycle wakeups.
-    sim_.add(*dram_);
+    //
+    // Affinities place each component for the parallel engine: DRAM and
+    // the crossbar are shared producers (pre phase), the L2 slices form
+    // the serial commit phase that pushes responses into the per-core
+    // links (mem phase), and each core's L1 + LSU + Hart tick as one
+    // lane. The serial engine ignores the affinities; the parallel
+    // engine's schedule is bit-identical to it (docs/PARALLELISM.md).
+    using Affinity = Simulator::Affinity;
+    sim_.add(*dram_, {Affinity::pre, 0});
     if (xbar_)
-        sim_.add(*xbar_);
+        sim_.add(*xbar_, {Affinity::pre, 0});
     for (auto &l2 : l2s_)
-        sim_.add(*l2);
-    for (auto &l1 : l1s_)
-        sim_.add(*l1);
-    for (auto &lsu : lsus_)
-        sim_.add(*lsu);
-    for (auto &hart : harts_)
-        sim_.add(*hart);
+        sim_.add(*l2, {Affinity::mem, 0});
+    for (unsigned c = 0; c < cfg.cores; ++c)
+        sim_.add(*l1s_[c], {Affinity::lane, c});
+    for (unsigned c = 0; c < cfg.cores; ++c)
+        sim_.add(*lsus_[c], {Affinity::lane, c});
+    for (unsigned c = 0; c < cfg.cores; ++c)
+        sim_.add(*harts_[c], {Affinity::lane, c});
 
     // The watchdog ticks last so it sees each cycle's settled state.
     watchdog_ = std::make_unique<Watchdog>("watchdog", sim_, cfg.watchdog);
@@ -78,7 +89,7 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
         watchdog_->watch(*l1);
     for (auto &l2 : l2s_)
         watchdog_->watch(*l2);
-    sim_.add(*watchdog_);
+    sim_.add(*watchdog_, {Affinity::post, 0});
 
     // The invariant checker ticks after everything (observer only). A
     // skip bit is only meaningful when GrantData vs GrantDataDirty can
@@ -95,7 +106,7 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
     for (auto &l2 : l2s_)
         checker_->setL2(*l2);
     checker_->setDram(*dram_);
-    sim_.add(*checker_);
+    sim_.add(*checker_, {Affinity::post, 0});
 
     // A watchdog stall report triggers a full invariant sweep: is the
     // stall a liveness bug or a symptom of broken coherence?
@@ -103,6 +114,17 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
         [this](std::ostream &os) { checker_->escalate(os); });
 
     sim_.setFastForward(cfg.fast_forward);
+
+    if (parallel) {
+        // Counter traffic from concurrently-ticked lanes flows through
+        // per-lane shards; the engine folds them at every sync point.
+        stats_.enableShards(cfg.cores);
+        sim_.setLaneHooks(
+            [this](unsigned lane) { stats_.enterShard(lane); },
+            [] { Stats::leaveShard(); },
+            [this] { stats_.foldShards(); });
+        sim_.setEngine(Simulator::Engine::parallel, cfg.workers);
+    }
 }
 
 std::string
@@ -133,6 +155,14 @@ SoCConfig::describe() const
        << dram.write_ack_latency << ", issue interval "
        << dram.issue_interval << "\n"
        << "link latency: " << link_latency << "\n"
+       << "engine: "
+       << (engine == Simulator::Engine::parallel
+               ? "parallel, " +
+                     (workers == 0 ? std::string("hw-concurrency")
+                                   : std::to_string(workers)) +
+                     " workers"
+               : std::string("serial"))
+       << "\n"
        << "fast-forward: " << (fast_forward ? "on" : "off") << "\n"
        << "checker: " << (verify.enabled ? "on" : "off")
        << (verify.enabled && !verify.fatal ? " (latching)" : "")

@@ -30,7 +30,9 @@ namespace skipit {
 /** Whole-machine configuration. */
 struct SoCConfig
 {
-    unsigned cores = 2;   //!< the paper's platform is dual-core (§7.1)
+    /** Hart count (1-64). The paper's platform is dual-core (§7.1);
+     *  scale-out configurations stripe more harts over the sliced L2. */
+    unsigned cores = 2;
     L1Config l1{};
     L2Config l2{};
     DramConfig dram{};
@@ -58,6 +60,14 @@ struct SoCConfig
      *  Requires l2.slices == 1. Kept solely so the equivalence tests
      *  can demonstrate the crossbar at slices=1 is bit-identical. */
     bool direct_l2_wiring = false;
+    /** Tick engine. The serial engine is the reference; the parallel
+     *  engine ticks per-core lanes on a worker pool and is bit-identical
+     *  to it at any worker count (docs/PARALLELISM.md). Requires the
+     *  crossbar topology (no direct_l2_wiring). */
+    Simulator::Engine engine = Simulator::Engine::serial;
+    /** Parallel-engine thread count including the stepping thread;
+     *  0 = hardware concurrency. Ignored by the serial engine. */
+    unsigned workers = 0;
 
     /** Convenience: toggle every Skip-It-related feature at once. */
     SoCConfig &

@@ -328,6 +328,7 @@ struct CycleParams
     unsigned threads = 1;
     std::size_t bytes = 4096;
     bool flush = true;
+    unsigned cores = 0; //!< machine size; 0 = one core per thread
 };
 
 void
@@ -367,6 +368,18 @@ applyCycleParam(CycleParams &p, const std::string &name,
         p.cfg.link_latency = parseU64(name, token);
     else if (name == "fast_forward")
         p.cfg.fast_forward = parseFlag(name, token);
+    else if (name == "cores")
+        p.cores = static_cast<unsigned>(parseU64(name, token));
+    else if (name == "engine") {
+        if (token == "serial")
+            p.cfg.engine = Simulator::Engine::serial;
+        else if (token == "parallel")
+            p.cfg.engine = Simulator::Engine::parallel;
+        else
+            fail("sweep: engine must be 'serial' or 'parallel', got '" +
+                 token + "'");
+    } else if (name == "workers")
+        p.cfg.workers = static_cast<unsigned>(parseU64(name, token));
     else
         fail("sweep: unknown axis '" + name + "' for a cycle-model kind");
 }
@@ -492,13 +505,15 @@ runPoint(const SweepSpec &spec, Kind kind, const SweepPoint &pt)
     Cycle cycles = 0;
     switch (kind) {
       case Kind::Cbo:
-        cycles = cboLatency(p.cfg, p.threads, p.bytes, p.flush);
+        cycles = cboLatency(p.cfg, p.threads, p.bytes, p.flush, p.cores);
         break;
       case Kind::Wwr:
-        cycles = writeWbReadLatency(p.cfg, p.threads, p.bytes, p.flush);
+        cycles = writeWbReadLatency(p.cfg, p.threads, p.bytes, p.flush,
+                                    p.cores);
         break;
       default:
-        cycles = redundantWbLatency(p.cfg, p.threads, p.bytes, p.flush);
+        cycles = redundantWbLatency(p.cfg, p.threads, p.bytes, p.flush,
+                                    p.cores);
         break;
     }
     return {static_cast<std::uint64_t>(cycles)};

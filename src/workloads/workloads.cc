@@ -38,10 +38,11 @@ writebackRegion(Addr base, unsigned lines, bool flush, unsigned passes)
 
 Cycle
 cboLatency(const SoCConfig &cfg, unsigned threads, std::size_t bytes,
-           bool flush)
+           bool flush, unsigned cores)
 {
     SoCConfig c = cfg;
-    c.cores = threads;
+    c.cores = cores ? cores : threads;
+    SKIPIT_ASSERT(threads <= c.cores, "more threads than cores");
     SoC soc(c);
     const unsigned lines_total =
         static_cast<unsigned>(bytes / line_bytes);
@@ -61,10 +62,11 @@ cboLatency(const SoCConfig &cfg, unsigned threads, std::size_t bytes,
 
 Cycle
 writeWbReadLatency(const SoCConfig &cfg, unsigned threads,
-                   std::size_t bytes, bool flush)
+                   std::size_t bytes, bool flush, unsigned cores)
 {
     SoCConfig c = cfg;
-    c.cores = threads;
+    c.cores = cores ? cores : threads;
+    SKIPIT_ASSERT(threads <= c.cores, "more threads than cores");
     SoC soc(c);
     const unsigned lines_total =
         static_cast<unsigned>(bytes / line_bytes);
@@ -93,10 +95,11 @@ writeWbReadLatency(const SoCConfig &cfg, unsigned threads,
 
 Cycle
 redundantWbLatency(const SoCConfig &cfg, unsigned threads,
-                   std::size_t bytes, bool flush)
+                   std::size_t bytes, bool flush, unsigned cores)
 {
     SoCConfig c = cfg;
-    c.cores = threads;
+    c.cores = cores ? cores : threads;
+    SKIPIT_ASSERT(threads <= c.cores, "more threads than cores");
     SoC soc(c);
     const unsigned lines_total =
         static_cast<unsigned>(bytes / line_bytes);

@@ -37,14 +37,16 @@ Program writebackRegion(Addr base, unsigned lines, bool flush,
 /**
  * Fig 9 measurement: per-thread disjoint dirty regions, then each thread
  * writes its share back sequentially and fences once.
+ * @param cores size of the machine (0 = one core per thread); letting
+ *        cores exceed threads measures active threads on a larger SoC
  * @return cycles of the writeback phase
  */
 Cycle cboLatency(const SoCConfig &cfg, unsigned threads, std::size_t bytes,
-                 bool flush);
+                 bool flush, unsigned cores = 0);
 
 /** Fig 10 measurement: per line, write -> 10x CBO.X -> fence -> read. */
 Cycle writeWbReadLatency(const SoCConfig &cfg, unsigned threads,
-                         std::size_t bytes, bool flush);
+                         std::size_t bytes, bool flush, unsigned cores = 0);
 
 /**
  * Fig 13 measurement: one store pass, one real writeback pass, ten
@@ -52,7 +54,8 @@ Cycle writeWbReadLatency(const SoCConfig &cfg, unsigned threads,
  * through the FSHRs, which is where Skip It's early drop pays off.
  */
 Cycle redundantWbLatency(const SoCConfig &cfg, unsigned threads,
-                         std::size_t bytes, bool flush);
+                         std::size_t bytes, bool flush,
+                         unsigned cores = 0);
 
 // ---------------------------------------------------------------------
 // Data-structure throughput (Figs 14-16).

@@ -6,7 +6,11 @@
  *
  * Each program file runs on its own hart (core i gets file i). Options:
  *
- *   --cores N        number of cores (default: number of programs)
+ *   --cores N        number of cores, 1-64 (default: number of programs)
+ *   --slices N       number of address-interleaved L2 slices (default 1)
+ *   --engine E       tick engine: serial (default) or parallel; both are
+ *                    bit-identical (see docs/PARALLELISM.md)
+ *   --workers N      parallel-engine thread count (0 = hw concurrency)
  *   --no-skipit      disable the Skip It skip bit and GrantDataDirty
  *   --trace CH[,CH]  enable trace channels (flush, l1, l2, all)
  *   --trace-out FILE write a Chrome trace-event JSON of every memory
@@ -47,7 +51,9 @@ void
 usage()
 {
     std::fprintf(stderr,
-                 "usage: skipit-run [--cores N] [--no-skipit] "
+                 "usage: skipit-run [--cores N] [--slices N] "
+                 "[--engine serial|parallel]\n"
+                 "                  [--workers N] [--no-skipit] "
                  "[--trace CH[,CH]] [--stats]\n"
                  "                  [--stats-prefix P] "
                  "[--trace-out FILE] [--describe]\n"
@@ -71,6 +77,9 @@ int
 main(int argc, char **argv)
 {
     unsigned cores = 0;
+    unsigned slices = 0;
+    unsigned workers = 0;
+    Simulator::Engine engine = Simulator::Engine::serial;
     bool skip_it = true;
     bool dump_stats = false;
     bool describe = false;
@@ -83,6 +92,23 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--cores" && i + 1 < argc) {
             cores = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--slices" && i + 1 < argc) {
+            slices = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--engine" && i + 1 < argc) {
+            const std::string e = argv[++i];
+            if (e == "serial") {
+                engine = Simulator::Engine::serial;
+            } else if (e == "parallel") {
+                engine = Simulator::Engine::parallel;
+            } else {
+                std::fprintf(stderr,
+                             "error: --engine must be serial or "
+                             "parallel, got '%s'\n",
+                             e.c_str());
+                return 1;
+            }
+        } else if (arg == "--workers" && i + 1 < argc) {
+            workers = static_cast<unsigned>(std::stoul(argv[++i]));
         } else if (arg == "--no-skipit") {
             skip_it = false;
         } else if (arg == "--trace" && i + 1 < argc) {
@@ -129,6 +155,10 @@ main(int argc, char **argv)
                      files.size(), cfg.cores);
         return 1;
     }
+    if (slices != 0)
+        cfg.l2.slices = slices;
+    cfg.engine = engine;
+    cfg.workers = workers;
     cfg.withSkipIt(skip_it);
     SoC soc(cfg);
     if (describe)
