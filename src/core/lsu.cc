@@ -228,6 +228,13 @@ Lsu::fire()
                 if (sim_.probes().active()) {
                     sim_.probes().end(sim_.now(), e.txn, "lsu.window",
                                       name(), "fence released");
+                    // Durability-oracle payload: this hart has observed
+                    // every older CBO complete (flush counter drained);
+                    // their flushed values are now claimed durable.
+                    sim_.probes().instant(
+                        sim_.now(), e.txn, "persist.fence", name(),
+                        "fence retired; flush counter drained", 0,
+                        static_cast<std::uint64_t>(source_));
                 }
             }
             continue;

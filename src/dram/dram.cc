@@ -74,7 +74,8 @@ Dram::tick()
             sim_.now(), req.write ? cfg_.write_ack_latency : cfg_.latency,
             req.txn, req.write ? "dram.write" : "dram.read", name(),
             trace::detail::concat(req.write ? "write 0x" : "read 0x",
-                                  std::hex, req.addr));
+                                  std::hex, req.addr),
+            req.addr, req.write ? lineFingerprint(req.data) : 0);
     }
 }
 
@@ -97,6 +98,51 @@ void
 Dram::pokeLine(Addr line_addr, const LineData &data)
 {
     store_[lineAlign(line_addr)] = data;
+}
+
+std::unordered_map<Addr, LineData>
+Dram::persistImage() const
+{
+    std::unordered_map<Addr, LineData> image = store_;
+    for (const MemReq &req : req_q_) {
+        if (req.write)
+            image[req.addr] = req.data;
+    }
+    return image;
+}
+
+LineData
+Dram::persistLine(Addr line_addr) const
+{
+    const Addr line = lineAlign(line_addr);
+    LineData data = peekLine(line);
+    for (const MemReq &req : req_q_) {
+        if (req.write && req.addr == line)
+            data = req.data;
+    }
+    return data;
+}
+
+unsigned
+Dram::pendingWrites() const
+{
+    unsigned n = 0;
+    for (const MemReq &req : req_q_) {
+        if (req.write)
+            ++n;
+    }
+    return n;
+}
+
+std::vector<Addr>
+Dram::queuedWriteLines() const
+{
+    std::vector<Addr> lines;
+    for (const MemReq &req : req_q_) {
+        if (req.write)
+            lines.push_back(req.addr);
+    }
+    return lines;
 }
 
 std::uint64_t

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/queues.hh"
 #include "sim/simulator.hh"
@@ -98,6 +99,24 @@ class Dram : public Ticked
     void pokeLine(Addr line_addr, const LineData &data);
     /** Read one 64-bit word straight from the backing store. */
     std::uint64_t peekWord(Addr addr) const;
+    /// @}
+
+    /// @name ADR persist domain (durability-oracle interface)
+    ///
+    /// The persist domain at any instant is the backing store plus every
+    /// write already accepted into the controller queue: like hardware
+    /// ADR, the controller is assumed to drain its accepted write queue
+    /// on standby power after a failure. Queued reads have no effect.
+    /// @{
+    /** The full post-crash image: store_ with queued writes applied in
+     *  FIFO order. */
+    std::unordered_map<Addr, LineData> persistImage() const;
+    /** One line of the persist domain (the last queued write wins). */
+    LineData persistLine(Addr line_addr) const;
+    /** Accepted-but-unissued writes (already part of the image). */
+    unsigned pendingWrites() const;
+    /** Line addresses of accepted-but-unissued writes, FIFO order. */
+    std::vector<Addr> queuedWriteLines() const;
     /// @}
 
   private:

@@ -322,6 +322,7 @@ DataCache::replay(L1Mshr &m, unsigned fill_set, unsigned fill_way)
                           "zero replay without write permissions");
             data = LineData{};
             meta.dirty = true;
+            meta.skip = false;
         } else {
             SKIPIT_ASSERT(req.kind == CpuOpKind::Store,
                           "CBO.CLEAN/FLUSH/INVAL must never enter an RPQ");
@@ -329,6 +330,12 @@ DataCache::replay(L1Mshr &m, unsigned fill_set, unsigned fill_way)
                           "store replay without write permissions");
             writeWord(data, req.addr, req.size, req.data);
             meta.dirty = true;
+            // Dirtying must clear the skip bit, not rely on the dirty
+            // bit masking it: CBO.CLEAN marks the line clean again when
+            // it captures the data into the FSHR, long before the
+            // writeback is durable, and a stale skip bit from the fill
+            // would then elide the next CBO unsoundly (§6.1).
+            meta.skip = false;
             // The store already responded when the MSHR buffered it.
         }
         ++extra;
@@ -535,6 +542,7 @@ DataCache::handleStore(const CpuReq &req)
             writeWord(arrays_.data(set, static_cast<unsigned>(way)),
                       req.addr, req.size, req.data);
             meta.dirty = true;
+            meta.skip = false; // dirtied: no longer persisted (§6.1)
             arrays_.touch(set, static_cast<unsigned>(way));
             respond(req, 0, cfg_.hit_latency);
             stats_[sp_ + "store_hits"]++;
@@ -623,7 +631,10 @@ DataCache::handleCbo(const CpuReq &req)
         if (sim_.probes().active()) {
             sim_.probes().instant(
                 sim_.now(), req.txn, "l1.skipit", name() + ".flushq",
-                trace::detail::concat("skip-drop 0x", std::hex, line));
+                trace::detail::concat("skip-drop 0x", std::hex, line),
+                line,
+                lineFingerprint(arrays_.data(
+                    arrays_.setOf(line), static_cast<unsigned>(way))));
         }
         return;
     }
@@ -663,8 +674,31 @@ DataCache::handleCbo(const CpuReq &req)
         }
         if (fshr >= 0) {
             const Fshr &f = fshrs_[static_cast<unsigned>(fshr)];
-            if (kind_merges(f.req.kind) && f.req.is_hit == hit &&
-                f.req.is_dirty == dirty) {
+            // Once a CBO.CLEAN FSHR has captured its data buffer, stores
+            // to the line are allowed again (§5.3) and may have re-dirtied
+            // it; the array state then matches the FSHR's snapshot
+            // (dirty == is_dirty) even though the buffered data is stale.
+            // Merging here would ack this CBO without ever writing the
+            // new store's data back — an acked-but-lost persist. Refuse
+            // the merge and let the LSU retry after the FSHR drains.
+            //
+            // The other side of the capture: the line reads as clean now
+            // (dirty == false) while the FSHR snapshot says dirty. The
+            // buffered data still equals the array iff nothing touched
+            // the line since the capture — no re-dirtying store (dirty
+            // would be set) and no probe shipping newer data below
+            // (skip_ok would be cleared). Under those conditions the
+            // in-flight writeback persists exactly the bytes this CBO is
+            // asking to persist, so it may merge instead of nack-retrying
+            // until the FSHR drains.
+            const bool state_matches =
+                f.req.is_hit == hit && f.req.is_dirty == dirty &&
+                !(f.buffer_filled && dirty);
+            const bool captured_matches =
+                f.req.is_hit && hit && !dirty && f.req.is_dirty &&
+                f.buffer_filled && f.skip_ok;
+            if (kind_merges(f.req.kind) &&
+                (state_matches || captured_matches)) {
                 respond(req, 0, cfg_.cbo_accept_latency);
                 stats_[sp_ + "cbo_coalesced"]++;
                 if (sim_.probes().active()) {
@@ -744,6 +778,7 @@ DataCache::handleCboZero(const CpuReq &req)
         if (meta.state == ClientState::Trunk) {
             arrays_.data(set, static_cast<unsigned>(way)) = LineData{};
             meta.dirty = true;
+            meta.skip = false; // dirtied: no longer persisted (§6.1)
             arrays_.touch(set, static_cast<unsigned>(way));
             respond(req, 0, cfg_.hit_latency);
             stats_[sp_ + "cbo_zero"]++;
@@ -1117,8 +1152,20 @@ DataCache::tickFshrs()
             }
             link_.c.send(msg, TLLink::beatsFor(msg));
             f.state = Fshr::State::RootReleaseAck;
-            if (sim_.probes().active())
+            if (sim_.probes().active()) {
                 emitFshrState(f);
+                if (msg.op == COp::RootReleaseData) {
+                    // Durability-oracle payload: the exact data this
+                    // writeback promises to make durable.
+                    sim_.probes().instant(
+                        sim_.now(), f.req.txn, "persist.wb.data",
+                        name() + ".fshr" +
+                            std::to_string(&f - fshrs_.data()),
+                        trace::detail::concat("writeback data 0x",
+                                              std::hex, f.req.addr),
+                        f.req.addr, lineFingerprint(f.buffer));
+                }
+            }
             break;
           }
 
@@ -1131,6 +1178,7 @@ DataCache::tickFshrs()
 void
 DataCache::completeFshr(Fshr &f)
 {
+    bool skip_set = false;
     if (f.req.isClean() && cfg_.skip_it && cfg_.skip_set_on_clean_ack) {
         // The clean just wrote every dirty copy back to memory. If the
         // line is still resident and has not been re-dirtied, it is now
@@ -1139,17 +1187,40 @@ DataCache::completeFshr(Fshr &f)
         if (way >= 0 && f.skip_ok) {
             L1Meta &meta = arrays_.meta(arrays_.setOf(f.req.addr),
                                         static_cast<unsigned>(way));
-            if (!meta.dirty)
+            if (!meta.dirty) {
                 meta.skip = true;
+                skip_set = true;
+                if (sim_.probes().active()) {
+                    sim_.probes().instant(
+                        sim_.now(), f.req.txn, "persist.skipset",
+                        name() + ".fshr" +
+                            std::to_string(&f - fshrs_.data()),
+                        trace::detail::concat("skip-set 0x", std::hex,
+                                              f.req.addr),
+                        f.req.addr,
+                        lineFingerprint(
+                            arrays_.data(arrays_.setOf(f.req.addr),
+                                         static_cast<unsigned>(way))));
+                }
+            }
         }
     }
     SKIPIT_TRACE_LOG(sim_.now(), "flush", name(), " fshr complete 0x",
                      std::hex, f.req.addr);
     if (sim_.probes().active()) {
-        sim_.probes().end(
-            sim_.now(), f.req.txn, "l1.fshr",
-            name() + ".fshr" + std::to_string(&f - fshrs_.data()),
-            "RootReleaseAck");
+        const std::string track =
+            name() + ".fshr" + std::to_string(&f - fshrs_.data());
+        sim_.probes().end(sim_.now(), f.req.txn, "l1.fshr", track,
+                          "RootReleaseAck");
+        // Durability-oracle payload: kind in bits [1:0], carried-data
+        // flag in bit 2, skip-set flag in bit 3.
+        sim_.probes().instant(
+            sim_.now(), f.req.txn, "persist.complete", track,
+            trace::detail::concat("cbo complete 0x", std::hex,
+                                  f.req.addr),
+            f.req.addr,
+            static_cast<std::uint64_t>(f.req.kind) |
+                (f.req.is_dirty ? 4u : 0u) | (skip_set ? 8u : 0u));
     }
     f = Fshr{};
     SKIPIT_ASSERT(flush_counter_ > 0, "flush counter underflow");
@@ -1237,6 +1308,24 @@ DataCache::snapshotResources(
         out.push_back(std::move(snap));
         ++pos;
     }
+}
+
+void
+DataCache::injectSkipCorruption(Addr addr)
+{
+    SKIPIT_ASSERT(cfg_.skip_it,
+                  "injectSkipCorruption requires skip_it enabled");
+    const Addr line = lineAlign(addr);
+    const int way = arrays_.findWay(line);
+    SKIPIT_ASSERT(way >= 0,
+                  "injectSkipCorruption: line not resident: 0x", std::hex,
+                  line);
+    L1Meta &meta =
+        arrays_.meta(arrays_.setOf(line), static_cast<unsigned>(way));
+    SKIPIT_ASSERT(!meta.dirty,
+                  "injectSkipCorruption: line is dirty (skip bits are "
+                  "only consulted on clean lines)");
+    meta.skip = true;
 }
 
 } // namespace skipit

@@ -95,6 +95,15 @@ class DataCache : public Ticked, public probe::Inspectable
     void snapshotResources(
         std::vector<probe::ResourceSnapshot> &out) const override;
 
+    /**
+     * Fault injection (tests only): force the skip bit of a resident
+     * clean line to 1 regardless of whether the line is persisted below —
+     * the exact bug class the durability oracle exists to catch (§6.1
+     * soundness). Negative-control hook; precedent:
+     * TLXbar::injectAMisroute.
+     */
+    void injectSkipCorruption(Addr addr);
+
   private:
     Simulator &sim_;
     L1Config cfg_;

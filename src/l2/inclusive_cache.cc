@@ -794,7 +794,9 @@ InclusiveCache::tickMshr(unsigned idx)
                 sim_.probes().instant(
                     sim_.now(), m.txn, "l2.llcskip",
                     name() + ".mshr" + std::to_string(idx),
-                    "clean in LLC: DRAM write skipped");
+                    "clean in LLC: DRAM write skipped", m.line,
+                    lineFingerprint(
+                        store_.read(m.set, static_cast<unsigned>(m.way))));
             }
             return;
         }

@@ -1,5 +1,7 @@
 #include "persist.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace skipit {
@@ -134,6 +136,17 @@ PersistCtx::registerWord(std::atomic<std::uint64_t> &w)
 Cycle
 PersistCtx::doWriteback(unsigned tid, Addr orig_addr)
 {
+    // Armed mid-operation crash: the power fails *before* this
+    // writeback takes effect, so the shadow keeps its pre-writeback
+    // durable values. Single-threaded by the injection tests' design.
+    const std::int64_t armed =
+        crash_after_.load(std::memory_order_relaxed);
+    if (armed > 0) {
+        crash_after_.store(armed - 1, std::memory_order_relaxed);
+        if (armed == 1)
+            throw CrashInjected{};
+    }
+
     WbOutcome out;
     const Cycle c =
         mem_.writeback(tid, dataAddr(orig_addr), cfg_.invalidating, &out);
@@ -163,6 +176,7 @@ PersistCtx::persistInitRange(unsigned tid,
                              const std::atomic<std::uint64_t> *first,
                              std::size_t n_words)
 {
+    OpGuard op(active_ops_);
     for (std::size_t i = 0; i < n_words; ++i) {
         registerWord(const_cast<std::atomic<std::uint64_t> &>(first[i]));
     }
@@ -182,6 +196,13 @@ PersistCtx::persistInitRange(unsigned tid,
 void
 PersistCtx::crash()
 {
+    // Reverting words under a racing operation would corrupt both the
+    // structure and the shadow: the crash epoch must be quiescent.
+    const int in_flight = active_ops_.load(std::memory_order_acquire);
+    SKIPIT_ASSERT(in_flight == 0,
+                  "PersistCtx::crash() requires quiescence: ", in_flight,
+                  " operation(s) still in flight");
+    crash_after_.store(0, std::memory_order_relaxed);
     mem_.reset();
     std::lock_guard<std::mutex> g(shadow_mu_);
     for (auto &[a, e] : shadow_) {
@@ -193,9 +214,29 @@ PersistCtx::crash()
         c.store(0, std::memory_order_relaxed);
 }
 
+void
+PersistCtx::armCrashAfter(std::uint64_t n_writebacks)
+{
+    crash_after_.store(static_cast<std::int64_t>(n_writebacks),
+                       std::memory_order_relaxed);
+}
+
+std::vector<std::pair<Addr, std::uint64_t>>
+PersistCtx::recoverPersisted() const
+{
+    std::lock_guard<std::mutex> g(shadow_mu_);
+    std::vector<std::pair<Addr, std::uint64_t>> out;
+    out.reserve(shadow_.size());
+    for (const auto &[a, e] : shadow_)
+        out.emplace_back(a, e.persisted);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
 std::uint64_t
 PersistCtx::readPlain(unsigned tid, const std::atomic<std::uint64_t> &w)
 {
+    OpGuard op(active_ops_);
     const Addr a = wordAddr(w);
     mem_.load(tid, dataAddr(a));
     std::uint64_t v = w.load(std::memory_order_acquire);
@@ -211,6 +252,7 @@ void
 PersistCtx::writePlain(unsigned tid, std::atomic<std::uint64_t> &w,
                        std::uint64_t v)
 {
+    OpGuard op(active_ops_);
     const Addr a = wordAddr(w);
     registerWord(w);
     mem_.store(tid, dataAddr(a));
@@ -265,6 +307,7 @@ std::uint64_t
 PersistCtx::readImpl(unsigned tid, const std::atomic<std::uint64_t> &w,
                      bool instrumented)
 {
+    OpGuard op(active_ops_);
     const Addr a = wordAddr(w);
     mem_.load(tid, dataAddr(a));
     std::uint64_t v = w.load(std::memory_order_acquire);
@@ -303,6 +346,7 @@ void
 PersistCtx::write(unsigned tid, std::atomic<std::uint64_t> &w,
                   std::uint64_t v)
 {
+    OpGuard op(active_ops_);
     const Addr a = wordAddr(w);
     registerWord(w);
 
@@ -349,6 +393,7 @@ bool
 PersistCtx::cas(unsigned tid, std::atomic<std::uint64_t> &w,
                 std::uint64_t &expected, std::uint64_t desired)
 {
+    OpGuard op(active_ops_);
     const Addr a = wordAddr(w);
     registerWord(w);
 
@@ -417,6 +462,7 @@ PersistCtx::cas(unsigned tid, std::atomic<std::uint64_t> &w,
 void
 PersistCtx::opEnd(unsigned tid)
 {
+    OpGuard op(active_ops_);
     if (cfg_.mode != PersistMode::NonPersistent)
         mem_.fence(tid);
 }

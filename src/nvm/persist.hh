@@ -41,6 +41,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mem_sim.hh"
@@ -155,9 +156,40 @@ class PersistCtx
     /**
      * Power failure: volatile cache state vanishes and every word this
      * context ever touched reverts to its last *persisted* value (fresh
-     * NVMM reads as zero). Clocks/stats survive. Single-threaded use.
+     * NVMM reads as zero). Clocks/stats survive.
+     *
+     * Single-threaded use ONLY: no operation may be in flight on any
+     * thread (asserted — reverting words under a racing CAS would
+     * corrupt both the structure and the shadow). A mid-operation crash
+     * is simulated by armCrashAfter(): the unwound CrashInjected
+     * exception leaves zero operations in flight, after which crash()
+     * is legal again.
      */
     void crash();
+
+    /** Thrown out of the armed operation by armCrashAfter(). */
+    struct CrashInjected
+    {
+    };
+
+    /**
+     * Arm a mid-operation power failure: the @p n_writebacks -th
+     * subsequent writeback throws CrashInjected *instead of*
+     * persisting, leaving the shadow NVMM exactly as a power failure at
+     * that point would. Sweeping n over an operation's writebacks
+     * visits every persist boundary — the crash-point axis of the
+     * tests/ds recovery tests. 0 disarms.
+     */
+    void armCrashAfter(std::uint64_t n_writebacks);
+
+    /**
+     * Post-crash recovery scan: every registered word's address and its
+     * durable (last-persisted) value, sorted by address. This is what a
+     * recovery procedure would find in NVMM — tests/ds uses it to prove
+     * no acked insert is lost and no zero-filled zombie node is
+     * reachable after crash().
+     */
+    std::vector<std::pair<Addr, std::uint64_t>> recoverPersisted() const;
     /// @}
 
   private:
@@ -201,7 +233,26 @@ class PersistCtx
     std::unordered_map<Addr, ShadowEntry> shadow_;
     /** Registered words grouped by (original) line, for O(line) snapshots. */
     std::unordered_map<Addr, std::vector<Addr>> shadow_lines_;
-    std::mutex shadow_mu_;
+    mutable std::mutex shadow_mu_;
+
+    /** In-flight instrumented operations (crash() contract guard). */
+    std::atomic<int> active_ops_{0};
+    /** Writebacks until the armed CrashInjected fires; 0 = disarmed. */
+    std::atomic<std::int64_t> crash_after_{0};
+
+    /** RAII active-operation marker (exception-safe by construction:
+     *  CrashInjected unwinds it, so crash() is legal right after). */
+    class OpGuard
+    {
+      public:
+        explicit OpGuard(std::atomic<int> &c) : c_(c) { ++c_; }
+        ~OpGuard() { --c_; }
+        OpGuard(const OpGuard &) = delete;
+        OpGuard &operator=(const OpGuard &) = delete;
+
+      private:
+        std::atomic<int> &c_;
+    };
 
     /** Record @p w as NVMM-resident (idempotent). */
     void registerWord(std::atomic<std::uint64_t> &w);

@@ -106,4 +106,29 @@ Hub::span(Cycle cycle, Cycle dur, TxnId txn, const char *stage,
                std::move(detail)});
 }
 
+void
+Hub::end(Cycle cycle, TxnId txn, const char *stage, std::string track,
+         std::string detail, Addr addr, std::uint64_t arg)
+{
+    emit(Event{cycle, 0, txn, Event::Kind::End, stage, std::move(track),
+               std::move(detail), addr, arg});
+}
+
+void
+Hub::instant(Cycle cycle, TxnId txn, const char *stage, std::string track,
+             std::string detail, Addr addr, std::uint64_t arg)
+{
+    emit(Event{cycle, 0, txn, Event::Kind::Instant, stage, std::move(track),
+               std::move(detail), addr, arg});
+}
+
+void
+Hub::span(Cycle cycle, Cycle dur, TxnId txn, const char *stage,
+          std::string track, std::string detail, Addr addr,
+          std::uint64_t arg)
+{
+    emit(Event{cycle, dur, txn, Event::Kind::Span, stage, std::move(track),
+               std::move(detail), addr, arg});
+}
+
 } // namespace skipit::probe

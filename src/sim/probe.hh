@@ -47,6 +47,12 @@ struct Event
     const char *stage = "";  //!< latency-histogram key, e.g. "l1.fshr"
     std::string track;       //!< rendering row, e.g. "core0.l1d.fshr3"
     std::string detail;      //!< human-readable label / arguments
+    /** Machine-readable payload, consumed by the durability oracle:
+     *  the line address the event concerns (0 when not applicable). */
+    Addr addr = 0;
+    /** Machine-readable payload: event-specific argument — typically a
+     *  line-data fingerprint for persist.* and dram.write events. */
+    std::uint64_t arg = 0;
 };
 
 /** Receives every event emitted while attached to a hub. */
@@ -145,6 +151,18 @@ class Hub
                  std::string track, std::string detail = {});
     void span(Cycle cycle, Cycle dur, TxnId txn, const char *stage,
               std::string track, std::string detail = {});
+
+    /** Payload-carrying variants: identical to the above but attach the
+     *  line address and an event-specific argument (e.g. a line-data
+     *  fingerprint) for machine consumers such as the durability oracle. */
+    void end(Cycle cycle, TxnId txn, const char *stage, std::string track,
+             std::string detail, Addr addr, std::uint64_t arg);
+    void instant(Cycle cycle, TxnId txn, const char *stage,
+                 std::string track, std::string detail, Addr addr,
+                 std::uint64_t arg);
+    void span(Cycle cycle, Cycle dur, TxnId txn, const char *stage,
+              std::string track, std::string detail, Addr addr,
+              std::uint64_t arg);
     /// @}
 
   private:

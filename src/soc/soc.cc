@@ -71,6 +71,16 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
     // lane. The serial engine ignores the affinities; the parallel
     // engine's schedule is bit-identical to it (docs/PARALLELISM.md).
     using Affinity = Simulator::Affinity;
+    // The crash freezer ticks before the DRAM controller so a crash
+    // freezes the persist-domain image at the *start* of the crash
+    // cycle, before any cycle-C writes are accepted or issued. The
+    // oracle itself ticks last (post), after the probe hub has flushed
+    // the cycle's staged events. Both are pure observers.
+    durability_ = std::make_unique<verify::DurabilityOracle>(
+        "durability", sim_, cfg.durability);
+    freezer_ = std::make_unique<verify::CrashFreezer>("crash-freezer",
+                                                      *durability_);
+    sim_.add(*freezer_, {Affinity::pre, 0});
     sim_.add(*dram_, {Affinity::pre, 0});
     if (xbar_)
         sim_.add(*xbar_, {Affinity::pre, 0});
@@ -108,10 +118,24 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
     checker_->setDram(*dram_);
     sim_.add(*checker_, {Affinity::post, 0});
 
+    for (auto &l1 : l1s_)
+        durability_->addL1(*l1);
+    for (auto &l2 : l2s_)
+        durability_->setL2(*l2);
+    durability_->setDram(*dram_);
+    sim_.add(*durability_, {Affinity::post, 0});
+    if (cfg.durability.enabled)
+        sim_.probes().attach(*durability_);
+
     // A watchdog stall report triggers a full invariant sweep: is the
-    // stall a liveness bug or a symptom of broken coherence?
-    watchdog_->setEscalation(
-        [this](std::ostream &os) { checker_->escalate(os); });
+    // stall a liveness bug or a symptom of broken coherence? With the
+    // durability oracle on, the fatal report also captures what the
+    // persist domain would look like if the power failed right here.
+    watchdog_->setEscalation([this](std::ostream &os) {
+        checker_->escalate(os);
+        if (cfg_.durability.enabled)
+            durability_->reportSummary(os);
+    });
 
     sim_.setFastForward(cfg.fast_forward);
 
@@ -167,6 +191,15 @@ SoCConfig::describe() const
        << "checker: " << (verify.enabled ? "on" : "off")
        << (verify.enabled && !verify.fatal ? " (latching)" : "")
        << ", jitter: " << (jitter.enabled ? "on" : "off");
+    if (durability.enabled) {
+        os << "\ndurability: on";
+        if (durability.crash_at != 0)
+            os << ", crash at cycle " << durability.crash_at;
+        if (!durability.crash_on_stage.empty())
+            os << ", crash on stage " << durability.crash_on_stage;
+        if (!durability.fatal)
+            os << " (latching)";
+    }
     if (jitter.enabled) {
         os << " (seed " << jitter.seed << ", max-delay "
            << jitter.max_delay << ", burst " << jitter.burst_chance

@@ -24,6 +24,7 @@
 #include "tilelink/link.hh"
 #include "tilelink/xbar.hh"
 #include "verify/checker.hh"
+#include "verify/durability.hh"
 
 namespace skipit {
 
@@ -47,6 +48,12 @@ struct SoCConfig
      *  makes the skip bit genuinely unsound (skip_it without
      *  grant_data_dirty, reachable via the ablation sweep axes). */
     verify::CheckerConfig verify{};
+    /** Power-failure injection + durability oracle (off by default;
+     *  observer-only and cycle-neutral when enabled: the freezer and
+     *  oracle never self-schedule and never mutate simulated state, so
+     *  cycle counts are unchanged — asserted by
+     *  tests/verify/test_durability.cc). */
+    verify::DurabilityConfig durability{};
     /** Schedule perturbation on every TileLink channel (off by default;
      *  timing-only fault injection for fuzzing). Each core's link mixes
      *  its index into the seed so links jitter independently. */
@@ -115,6 +122,11 @@ class SoC
     Watchdog &watchdog() { return *watchdog_; }
     verify::CoherenceChecker &checker() { return *checker_; }
     const verify::CoherenceChecker &checker() const { return *checker_; }
+    verify::DurabilityOracle &durability() { return *durability_; }
+    const verify::DurabilityOracle &durability() const
+    {
+        return *durability_;
+    }
 
     /** Run until every hart's program is done. @return elapsed cycles. */
     Cycle runToCompletion(Cycle max_cycles = 100'000'000);
@@ -138,6 +150,8 @@ class SoC
     std::vector<std::unique_ptr<Hart>> harts_;
     std::unique_ptr<Watchdog> watchdog_;
     std::unique_ptr<verify::CoherenceChecker> checker_;
+    std::unique_ptr<verify::DurabilityOracle> durability_;
+    std::unique_ptr<verify::CrashFreezer> freezer_;
 };
 
 } // namespace skipit

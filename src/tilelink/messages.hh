@@ -31,6 +31,23 @@ namespace skipit {
 /** Payload of one full cache line. */
 using LineData = std::array<std::uint8_t, line_bytes>;
 
+/**
+ * FNV-1a fingerprint of a line's bytes. Used as the machine-readable
+ * payload of persist.* / dram.write probe events so the durability oracle
+ * can compare line contents across the hierarchy without copying 64-byte
+ * payloads into every event.
+ */
+inline std::uint64_t
+lineFingerprint(const LineData &data)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint8_t b : data) {
+        h ^= b;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
 /** Which CBO instruction a RootRelease carries (§5.1 params FLUSH/CLEAN;
  *  INVAL is this repo's extension for the CMO spec's cbo.inval). */
 enum class CboKind { Flush, Clean, Inval };

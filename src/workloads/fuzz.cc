@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -18,12 +19,21 @@ namespace skipit::workloads {
 
 namespace {
 
-/** The word of every pool line that hart @p h owns. */
+/** The word of pool line @p line that hart @p h owns. */
 Addr
 ownedWord(const FuzzSpec &spec, unsigned h, unsigned line)
 {
     return spec.pool_base + static_cast<Addr>(line) * line_bytes +
            (h % 8) * 8;
+}
+
+/** A line holds 8 words, so up to 8 harts can share every line. Beyond
+ *  that the pool is striped: hart h stores/loads only lines of group
+ *  h / 8 (line % groups == h / 8), keeping single-word ownership. */
+unsigned
+lineGroups(const FuzzSpec &spec)
+{
+    return (spec.harts + 7) / 8;
 }
 
 /** Stir @p salt into @p seed so derived streams are unrelated. */
@@ -84,8 +94,9 @@ expectedPersists(const Program &p)
     return out;
 }
 
-/** Run to the spec's deadline or completion/violation, without tripping
- *  runUntil's deadlock panic. @return true when fully quiesced. */
+/** Run to the spec's deadline or completion/violation/crash, without
+ *  tripping runUntil's deadlock panic. @return true when fully
+ *  quiesced. */
 bool
 runOne(SoC &soc, const FuzzSpec &spec)
 {
@@ -100,10 +111,108 @@ runOne(SoC &soc, const FuzzSpec &spec)
     soc.sim().runUntil(
         [&] {
             return settled() || !soc.checker().clean() ||
+                   soc.durability().crashed() ||
                    soc.sim().now() >= deadline;
         },
         spec.max_cycles + 1000);
     return settled();
+}
+
+/** Little-endian word @p addr of the frozen persist-domain image
+ *  (absent lines read as zero, like the zero-filled backing store). */
+std::uint64_t
+imageWord(const std::unordered_map<Addr, LineData> &image, Addr addr)
+{
+    const Addr line = addr & ~static_cast<Addr>(line_bytes - 1);
+    const auto it = image.find(line);
+    if (it == image.end())
+        return 0;
+    std::uint64_t v = 0;
+    std::memcpy(&v, it->second.data() + ((addr & ~Addr{7}) - line),
+                sizeof(v));
+    return v;
+}
+
+/**
+ * Word-level crash oracle for one hart (see the header comment). The
+ * durability oracle counted @p fences retired fences before the crash;
+ * fences retire in program order, so the @p fences -th fence op of @p p
+ * is the last one known retired. Every CBO older than it completed
+ * (its data accepted by the persist domain), so for each owned word the
+ * image must hold the value of SOME store at or after the last store
+ * that a retired-fence-ordered CBO of its line covered — older values
+ * are durability violations, newer ones are legitimately in-flight
+ * writebacks the crash happened to preserve.
+ *
+ * @return the offending (addr, got, oldest-admissible) or nullopt
+ */
+struct CrashWordMismatch
+{
+    Addr addr = 0;
+    std::uint64_t got = 0;
+    std::uint64_t floor_value = 0;
+};
+std::optional<CrashWordMismatch>
+checkCrashWords(const Program &p, std::uint64_t fences,
+                const std::unordered_map<Addr, LineData> &image)
+{
+    // Op index of the last fence known retired (exclusive bound k).
+    std::size_t k = 0;
+    if (fences > 0) {
+        std::uint64_t seen = 0;
+        bool found = false;
+        for (std::size_t i = 0; i < p.size() && !found; ++i) {
+            if (p[i].kind == MemOpKind::Fence && ++seen == fences) {
+                k = i;
+                found = true;
+            }
+        }
+        SKIPIT_ASSERT(found,
+                      "crash oracle: more fences retired than fence ops");
+    }
+
+    // Per word: all store values in order, and the index floor_idx of
+    // the last store covered by a CBO of its line at some j < k.
+    std::map<Addr, std::vector<std::pair<std::size_t, std::uint64_t>>>
+        stores;
+    std::map<Addr, std::size_t> floor_idx; // index INTO stores[addr]
+    for (std::size_t j = 0; j < (fences > 0 ? k : 0); ++j) {
+        const MemOp &op = p[j];
+        if (op.kind == MemOpKind::Store) {
+            stores[op.addr].emplace_back(j, op.data);
+        } else if (op.kind == MemOpKind::CboClean ||
+                   op.kind == MemOpKind::CboFlush) {
+            const Addr line =
+                op.addr & ~static_cast<Addr>(line_bytes - 1);
+            for (auto &[addr, vals] : stores) {
+                if ((addr & ~static_cast<Addr>(line_bytes - 1)) == line &&
+                    !vals.empty())
+                    floor_idx[addr] = vals.size() - 1;
+            }
+        }
+    }
+    // Stores after the fence bound can also be in the image (a crash
+    // preserves whatever writebacks happened to land).
+    for (std::size_t j = k; j < p.size(); ++j) {
+        if (p[j].kind == MemOpKind::Store)
+            stores[p[j].addr].emplace_back(j, p[j].data);
+    }
+
+    for (const auto &[addr, vals] : stores) {
+        const std::uint64_t got = imageWord(image, addr);
+        const auto fl = floor_idx.find(addr);
+        const std::size_t lo = fl == floor_idx.end() ? 0 : fl->second;
+        bool ok = fl == floor_idx.end() && got == 0; // nothing pinned
+        for (std::size_t i = lo; !ok && i < vals.size(); ++i)
+            ok = vals[i].second == got;
+        if (!ok) {
+            return CrashWordMismatch{addr, got,
+                                     fl == floor_idx.end()
+                                         ? 0
+                                         : vals[fl->second].second};
+        }
+    }
+    return std::nullopt;
 }
 
 } // namespace
@@ -111,8 +220,11 @@ runOne(SoC &soc, const FuzzSpec &spec)
 SoCConfig
 fuzzConfig(const FuzzSpec &spec, std::uint64_t seed)
 {
-    SKIPIT_ASSERT(spec.harts >= 1 && spec.harts <= 8,
-                  "fuzz: harts must be 1..8 (one owned word per line)");
+    SKIPIT_ASSERT(spec.harts >= 1 && spec.harts <= 64,
+                  "fuzz: harts must be 1..64");
+    SKIPIT_ASSERT(spec.lines >= lineGroups(spec),
+                  "fuzz: need at least one pool line per ownership group "
+                  "(ceil(harts / 8))");
     SoCConfig cfg;
     cfg.cores = spec.harts;
     cfg.verify.fatal = false; // latch violations; the harness reports
@@ -125,6 +237,15 @@ fuzzConfig(const FuzzSpec &spec, std::uint64_t seed)
     if (spec.flush_queue_depth > 0)
         cfg.l1.flush_queue_depth = spec.flush_queue_depth;
     cfg.l2.slices = std::max(1u, spec.l2_slices);
+    if (spec.parallel) {
+        cfg.engine = Simulator::Engine::parallel;
+        cfg.workers = spec.workers;
+    }
+    if (spec.crash_at != 0) {
+        cfg.durability.enabled = true;
+        cfg.durability.crash_at = spec.crash_at;
+        cfg.durability.fatal = false; // latch; the harness reports
+    }
     return cfg;
 }
 
@@ -132,12 +253,20 @@ std::vector<Program>
 generateFuzzPrograms(const FuzzSpec &spec, std::uint64_t seed)
 {
     std::vector<Program> programs(spec.harts);
+    const unsigned groups = lineGroups(spec);
     for (unsigned h = 0; h < spec.harts; ++h) {
+        // The lines hart h touches: its group's stripe of the pool.
+        // (The epilogue still flushes every line — flushing another
+        // group's line only writes it back, never mutates its words.)
+        std::vector<unsigned> owned;
+        for (unsigned l = h / 8; l < spec.lines; l += groups)
+            owned.push_back(l);
+        SKIPIT_ASSERT(!owned.empty(), "fuzz: hart with no owned lines");
         Rng rng(stir(seed, h));
         Program &p = programs[h];
         for (unsigned i = 0; i < spec.ops; ++i) {
-            const unsigned line =
-                static_cast<unsigned>(rng.below(spec.lines));
+            const unsigned line = owned[static_cast<std::size_t>(
+                rng.below(owned.size()))];
             const Addr word = ownedWord(spec, h, line);
             const Addr line_addr = spec.pool_base +
                                    static_cast<Addr>(line) * line_bytes;
@@ -166,9 +295,11 @@ generateFuzzPrograms(const FuzzSpec &spec, std::uint64_t seed)
     return programs;
 }
 
-std::optional<FuzzFailure>
-runFuzzPrograms(const FuzzSpec &spec, std::uint64_t seed,
-                const std::vector<Program> &programs)
+/** runFuzzPrograms, optionally reporting the quiescence cycle of a
+ *  clean run (the crash sweep samples crash points from it). */
+static std::optional<FuzzFailure>
+runProgramsImpl(const FuzzSpec &spec, std::uint64_t seed,
+                const std::vector<Program> &programs, Cycle *quiesce)
 {
     SKIPIT_ASSERT(programs.size() == spec.harts,
                   "fuzz: one program per hart required");
@@ -178,8 +309,8 @@ runFuzzPrograms(const FuzzSpec &spec, std::uint64_t seed,
 
     const auto fail = [&](std::string kind, std::string detail,
                           Cycle cycle) {
-        return FuzzFailure{seed, std::move(kind), std::move(detail),
-                           cycle, programs};
+        return FuzzFailure{seed,  std::move(kind), std::move(detail),
+                           cycle, spec.crash_at,   programs};
     };
 
     // 1. Latched invariant violations (structural checks run per tick).
@@ -189,6 +320,48 @@ runFuzzPrograms(const FuzzSpec &spec, std::uint64_t seed,
                     detail::concat("invariant '", v.invariant,
                                    "' violated: ", v.detail),
                     v.cycle);
+    }
+
+    // Crash run: the power failed mid-execution. The remaining oracles
+    // judge the frozen persist-domain image, not the (never-reached)
+    // end state.
+    if (spec.crash_at != 0) {
+        verify::DurabilityOracle &oracle = soc.durability();
+        if (!oracle.crashed()) {
+            if (!settled) {
+                return fail("hang",
+                            detail::concat(
+                                "run neither crashed nor settled within ",
+                                spec.max_cycles, " cycles"),
+                            soc.sim().now());
+            }
+            // Quiesced before the crash point: the image can no longer
+            // change, so audit the final state as the crash image.
+            oracle.crashNow();
+        }
+        if (!oracle.clean()) {
+            const verify::Violation &v = oracle.violations().front();
+            return fail("crash-durability",
+                        detail::concat("durability invariant '",
+                                       v.invariant, "' violated: ",
+                                       v.detail),
+                        v.cycle);
+        }
+        for (unsigned h = 0; h < spec.harts; ++h) {
+            const auto m = checkCrashWords(
+                programs[h], oracle.fencesRetired(h), oracle.image());
+            if (m) {
+                return fail(
+                    "crash-value",
+                    detail::concat(
+                        "hart", h, " word 0x", std::hex, m->addr,
+                        " is 0x", m->got, " in the post-crash image, ",
+                        "but a fence-observed flush pinned it to a ",
+                        "store no older than 0x", m->floor_value),
+                    oracle.crashCycle());
+            }
+        }
+        return std::nullopt;
     }
 
     // 2. Liveness: everything must settle before the deadline.
@@ -245,13 +418,43 @@ runFuzzPrograms(const FuzzSpec &spec, std::uint64_t seed,
         }
     }
 
+    if (quiesce)
+        *quiesce = soc.sim().now();
     return std::nullopt;
+}
+
+std::optional<FuzzFailure>
+runFuzzPrograms(const FuzzSpec &spec, std::uint64_t seed,
+                const std::vector<Program> &programs)
+{
+    return runProgramsImpl(spec, seed, programs, nullptr);
 }
 
 std::optional<FuzzFailure>
 runFuzzSeed(const FuzzSpec &spec, std::uint64_t seed)
 {
-    return runFuzzPrograms(spec, seed, generateFuzzPrograms(spec, seed));
+    const std::vector<Program> programs =
+        generateFuzzPrograms(spec, seed);
+    if (spec.crash_at != 0 || spec.crash_points == 0)
+        return runFuzzPrograms(spec, seed, programs);
+
+    // Crash sweep: one clean run establishes the seed's natural length
+    // T (and runs the usual end-state oracles), then the power fails at
+    // crash_points seed-derived cycles in [1, T].
+    FuzzSpec clean = spec;
+    clean.crash_points = 0;
+    Cycle total = 0;
+    if (auto f = runProgramsImpl(clean, seed, programs, &total))
+        return f;
+    for (unsigned k = 0; k < spec.crash_points; ++k) {
+        FuzzSpec crash = spec;
+        crash.crash_points = 0;
+        crash.crash_at =
+            1 + stir(seed, 0xc7a5 + k) % std::max<Cycle>(total, 1);
+        if (auto f = runFuzzPrograms(crash, seed, programs))
+            return f;
+    }
+    return std::nullopt;
 }
 
 std::optional<FuzzFailure>
@@ -298,8 +501,14 @@ runFuzz(const FuzzSpec &spec, std::uint64_t base_seed, unsigned count,
 }
 
 FuzzFailure
-shrinkFuzzFailure(const FuzzSpec &spec, const FuzzFailure &failure)
+shrinkFuzzFailure(const FuzzSpec &in_spec, const FuzzFailure &failure)
 {
+    // A crash failure only reproduces with the power failing at the
+    // same cycle: pin the failure's crash point into the spec.
+    FuzzSpec spec = in_spec;
+    spec.crash_points = 0;
+    spec.crash_at = failure.crash_at;
+
     FuzzFailure best = failure;
     if (best.programs.empty())
         best.programs = generateFuzzPrograms(spec, best.seed);
@@ -345,9 +554,16 @@ shrinkFuzzFailure(const FuzzSpec &spec, const FuzzFailure &failure)
 }
 
 bool
-writeReplayBundle(const FuzzSpec &spec, const FuzzFailure &failure,
+writeReplayBundle(const FuzzSpec &in_spec, const FuzzFailure &failure,
                   const std::string &dir)
 {
+    // Pin a crash failure's crash point so --replay re-runs the exact
+    // same truncated execution (crash_points is a sweep axis, not part
+    // of one run's identity).
+    FuzzSpec spec = in_spec;
+    spec.crash_points = 0;
+    spec.crash_at = failure.crash_at;
+
     namespace fs = std::filesystem;
     std::error_code ec;
     fs::create_directories(dir, ec);
@@ -377,17 +593,14 @@ writeReplayBundle(const FuzzSpec &spec, const FuzzFailure &failure,
         << "l2_slices " << spec.l2_slices << "\n"
         << "break_probe_invalidate "
         << (spec.break_probe_invalidate ? 1 : 0) << "\n"
+        << "crash_at " << spec.crash_at << "\n"
+        << "parallel " << (spec.parallel ? 1 : 0) << "\n"
+        << "workers " << spec.workers << "\n"
         << "# resolved configuration:\n";
     std::istringstream desc(fuzzConfig(spec, failure.seed).describe());
     for (std::string line; std::getline(desc, line);)
         cfg << "# " << line << "\n";
     bool ok = write("config.txt", cfg.str());
-
-    std::ostringstream failtxt;
-    failtxt << "kind " << failure.kind << "\n"
-            << "cycle " << failure.cycle << "\n"
-            << "detail " << failure.detail << "\n";
-    ok = write("failure.txt", failtxt.str()) && ok;
 
     for (std::size_t i = 0; i < failure.programs.size(); ++i) {
         ok = write("core" + std::to_string(i) + ".s",
@@ -404,6 +617,15 @@ writeReplayBundle(const FuzzSpec &spec, const FuzzFailure &failure,
     runOne(soc, spec);
     ok = tracer.writeChromeTraceFile(dir + "/trace.json") && ok;
 
+    std::ostringstream failtxt;
+    failtxt << "kind " << failure.kind << "\n"
+            << "cycle " << failure.cycle << "\n"
+            << "crash_at " << failure.crash_at << "\n"
+            << "detail " << failure.detail << "\n";
+    if (spec.crash_at != 0)
+        soc.durability().reportSummary(failtxt);
+    ok = write("failure.txt", failtxt.str()) && ok;
+
     std::ostringstream hist;
     const TxnId last = soc.sim().probes().lastTxn();
     hist << "failure: " << failure.kind << " @ cycle " << failure.cycle
@@ -412,6 +634,8 @@ writeReplayBundle(const FuzzSpec &spec, const FuzzFailure &failure,
     if (last != 0)
         tracer.dumpTxn(last, hist);
     soc.checker().report(hist);
+    if (spec.crash_at != 0)
+        soc.durability().report(hist);
     ok = write("txn_history.txt", hist.str()) && ok;
     return ok;
 }
@@ -443,7 +667,8 @@ readReplayBundle(const std::string &dir, std::vector<Program> &programs)
         else if (key == "jitter" || key == "max_delay" ||
                  key == "max_cycles" || key == "fshrs" ||
                  key == "flush_queue_depth" || key == "l2_slices" ||
-                 key == "break_probe_invalidate") {
+                 key == "break_probe_invalidate" || key == "crash_at" ||
+                 key == "parallel" || key == "workers") {
             std::uint64_t v = 0;
             ls >> v;
             if (key == "jitter")
@@ -458,6 +683,12 @@ readReplayBundle(const std::string &dir, std::vector<Program> &programs)
                 spec.flush_queue_depth = static_cast<unsigned>(v);
             else if (key == "l2_slices")
                 spec.l2_slices = static_cast<unsigned>(v);
+            else if (key == "crash_at")
+                spec.crash_at = v;
+            else if (key == "parallel")
+                spec.parallel = v != 0;
+            else if (key == "workers")
+                spec.workers = static_cast<unsigned>(v);
             else
                 spec.break_probe_invalidate = v != 0;
         } else {

@@ -19,9 +19,24 @@
  *
  * Value oracle: hart h owns word offset (h % 8) * 8 of every pool line
  * (deliberate false sharing — maximum protocol traffic, zero data
- * races). Stores and loads of hart h touch only its own word, so the
- * expected value of every load, and of every persisted word after the
- * final flush-everything epilogue, follows from h's program alone.
+ * races). With more than 8 harts the pool is striped into
+ * ceil(harts / 8) line groups and hart h stores/loads only lines of
+ * group h / 8, so single-word ownership still holds at any core count.
+ * Stores and loads of hart h touch only its own word, so the expected
+ * value of every load, and of every persisted word after the final
+ * flush-everything epilogue, follows from h's program alone.
+ *
+ * Crash axis: with crash_points > 0 each seed first runs to completion
+ * (establishing its natural length T and the usual end-state oracles),
+ * then re-runs with the power failing at crash_points seed-derived
+ * cycles in [1, T]. Each crash run freezes the persist-domain image via
+ * the durability oracle and checks (a) the oracle's own soundness +
+ * durability audit and (b) a word-level crash oracle: for every owned
+ * word, the frozen image must hold the value of some store at or after
+ * the last store provably persisted before the crash (last fence-
+ * observed CBO of that line, derived from the program and the retired-
+ * fence count). A crash failure records its crash cycle so replay and
+ * shrinking re-run the exact same truncated execution.
  */
 
 #ifndef SKIPIT_WORKLOADS_FUZZ_HH
@@ -39,7 +54,8 @@ namespace skipit::workloads {
 /** Shape of one fuzz run; every field is part of the replay identity. */
 struct FuzzSpec
 {
-    unsigned harts = 2;   //!< cores (max 8: one owned word per line)
+    unsigned harts = 2;   //!< cores (1-64; >8 stripes the pool into
+                          //!< ceil(harts/8) line-ownership groups)
     unsigned ops = 120;   //!< random ops per hart (epilogue excluded)
     unsigned lines = 6;   //!< pool size; small = aliasing-prone
     Addr pool_base = 0x90000; //!< line-aligned pool base
@@ -51,6 +67,14 @@ struct FuzzSpec
     unsigned flush_queue_depth = 0; //!< override queue depth (0 = default)
     unsigned l2_slices = 1;   //!< address-interleaved L2 slice count
     bool break_probe_invalidate = false; //!< negative-control fault
+    /** Crash (power-fail) cycles to sample per seed, after one clean
+     *  run establishes the seed's natural length. 0 = no crash axis. */
+    unsigned crash_points = 0;
+    /** Crash at exactly this cycle instead of sampling (replay/shrink
+     *  identity of one crash run). 0 = off. */
+    Cycle crash_at = 0;
+    bool parallel = false;    //!< run on the parallel tick engine
+    unsigned workers = 0;     //!< parallel-engine workers (0 = hw)
 };
 
 /** One reproducible failure. */
@@ -58,8 +82,13 @@ struct FuzzFailure
 {
     std::uint64_t seed = 0;
     std::string kind;   //!< "invariant" | "value" | "persist" | "hang"
+                        //!< | "crash-durability" | "crash-value"
     std::string detail; //!< human-readable; names the invariant if any
     Cycle cycle = 0;    //!< when it was detected
+    /** Crash cycle of the failing run (0 = it was not a crash run).
+     *  Part of the replay identity: shrinking and replay bundles pin
+     *  spec.crash_at to this value so the truncated run reproduces. */
+    Cycle crash_at = 0;
     std::vector<Program> programs; //!< the programs that failed
 };
 

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Mid-operation crash recovery for all five persistent structures: arm a
+ * power failure at every writeback boundary *inside* an insert / remove /
+ * enqueue / dequeue, restore the durable state, and require durable
+ * linearizability — every acknowledged operation survives, the in-flight
+ * operation either fully happened or fully didn't, and no zero-filled
+ * zombie node is reachable (the persistInitRange hazard: publishing a
+ * node whose contents never reached memory).
+ *
+ * This is the fine-grained counterpart of tests/nvm/test_crash_recovery.cc,
+ * which only crashes *between* operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "ds/bst.hh"
+#include "ds/hash_table.hh"
+#include "ds/linked_list.hh"
+#include "ds/ms_queue.hh"
+#include "ds/skiplist.hh"
+
+namespace skipit {
+namespace {
+
+enum class DsKind { List, Hash, Bst, Skip };
+
+const char *
+kindName(DsKind k)
+{
+    switch (k) {
+      case DsKind::List:
+        return "list";
+      case DsKind::Hash:
+        return "hash";
+      case DsKind::Bst:
+        return "bst";
+      default:
+        return "skip";
+    }
+}
+
+std::unique_ptr<PersistentSet>
+makeSet(DsKind k, PersistCtx &ctx)
+{
+    switch (k) {
+      case DsKind::List:
+        return std::make_unique<LinkedList>(ctx);
+      case DsKind::Hash:
+        return std::make_unique<HashTable>(ctx, 32);
+      case DsKind::Bst:
+        return std::make_unique<Bst>(ctx);
+      default:
+        return std::make_unique<SkipList>(ctx);
+    }
+}
+
+std::size_t
+sizeSlow(DsKind k, PersistentSet &s)
+{
+    switch (k) {
+      case DsKind::List:
+        return static_cast<LinkedList &>(s).sizeSlow();
+      case DsKind::Hash:
+        return static_cast<HashTable &>(s).sizeSlow();
+      case DsKind::Bst:
+        return static_cast<Bst &>(s).sizeSlow();
+      default:
+        return static_cast<SkipList &>(s).sizeSlow();
+    }
+}
+
+using Combo = std::tuple<DsKind, FlushPolicy, PersistMode>;
+
+std::string
+comboName(const ::testing::TestParamInfo<Combo> &info)
+{
+    const auto [kind, policy, mode] = info.param;
+    std::string s = std::string(kindName(kind)) + "_" + toString(policy) +
+                    "_" + toString(mode);
+    for (char &c : s) {
+        if (c == '-')
+            c = '_';
+    }
+    return s;
+}
+
+constexpr std::uint64_t key_range = 40;   //!< baseline keys live in [1, 40]
+constexpr std::uint64_t target_key = 41;  //!< the in-flight insert's key
+constexpr unsigned max_crash_points = 400; //!< sweep runaway guard
+
+struct SetRig
+{
+    MemSim mem;
+    PersistCtx ctx;
+    std::unique_ptr<PersistentSet> set;
+    std::set<std::uint64_t> ref;
+
+    SetRig(DsKind kind, FlushPolicy policy, PersistMode mode)
+        : mem(PersistCtx::machineFor(policy)),
+          ctx(mem, PersistConfig{policy, mode, std::size_t{1} << 12, true})
+    {
+        set = makeSet(kind, ctx);
+        // Deterministic baseline: every op below completes (and is thus
+        // acknowledged and durable) before the crash epoch starts.
+        for (std::uint64_t k = 1; k <= key_range; k += 2) {
+            EXPECT_TRUE(set->insert(0, k));
+            ref.insert(k);
+        }
+        for (std::uint64_t k = 1; k <= key_range; k += 6) {
+            EXPECT_TRUE(set->remove(0, k));
+            ref.erase(k);
+        }
+    }
+};
+
+/**
+ * After crash(): every acked key present, every absent key absent, the
+ * in-flight key atomic (whatever contains() says, sizeSlow() agrees — a
+ * zero-filled zombie would either break traversal or skew the count),
+ * and the structure still fully usable.
+ */
+void
+checkRecovered(DsKind kind, SetRig &r, std::uint64_t inflight,
+               bool inflight_was_insert, const char *what)
+{
+    // inflight == 0 means no operation was in flight (post-sweep check).
+    const bool has_inflight =
+        inflight != 0 && r.set->contains(0, inflight);
+    if (!inflight_was_insert) {
+        // In-flight remove: the key either survived or was removed.
+        std::set<std::uint64_t> without = r.ref;
+        without.erase(inflight);
+        EXPECT_EQ(sizeSlow(kind, *r.set),
+                  has_inflight ? r.ref.size() : without.size())
+            << what;
+    } else {
+        EXPECT_EQ(sizeSlow(kind, *r.set),
+                  r.ref.size() + (has_inflight ? 1 : 0))
+            << what;
+    }
+    for (std::uint64_t k = 1; k <= key_range; ++k) {
+        if (k == inflight)
+            continue;
+        EXPECT_EQ(r.set->contains(0, k), r.ref.count(k) == 1)
+            << what << " key " << k;
+    }
+    // Usability after recovery (also walks the structure, so a zombie
+    // node with a zeroed key or link would trip the traversal asserts).
+    const std::uint64_t fresh = key_range + 2;
+    EXPECT_TRUE(r.set->insert(0, fresh)) << what;
+    EXPECT_TRUE(r.set->contains(0, fresh)) << what;
+    EXPECT_TRUE(r.set->remove(0, fresh)) << what;
+}
+
+class MidOpCrash : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(MidOpCrash, InsertCrashedAtEveryWritebackIsAtomic)
+{
+    const auto [kind, policy, mode] = GetParam();
+    if (kind == DsKind::Bst && policy == FlushPolicy::LinkAndPersist)
+        GTEST_SKIP() << "L&P is not applicable to the BST";
+
+    unsigned n = 1;
+    for (; n <= max_crash_points; ++n) {
+        SetRig r(kind, policy, mode);
+        r.ctx.armCrashAfter(n);
+        bool crashed = false;
+        try {
+            EXPECT_TRUE(r.set->insert(0, target_key));
+        } catch (const PersistCtx::CrashInjected &) {
+            crashed = true;
+        }
+        r.ctx.armCrashAfter(0);
+        if (!crashed) {
+            // The op has fewer than n writebacks: the sweep visited
+            // every persist boundary. The completed insert must stick.
+            r.ctx.crash();
+            r.ref.insert(target_key);
+            checkRecovered(kind, r, 0, true, "post-sweep");
+            break;
+        }
+        r.ctx.crash();
+        checkRecovered(kind, r, target_key, true, "insert crash");
+    }
+    EXPECT_LE(n, max_crash_points)
+        << "insert never completed within the crash-point sweep";
+}
+
+TEST_P(MidOpCrash, RemoveCrashedAtEveryWritebackIsAtomic)
+{
+    const auto [kind, policy, mode] = GetParam();
+    if (kind == DsKind::Bst && policy == FlushPolicy::LinkAndPersist)
+        GTEST_SKIP() << "L&P is not applicable to the BST";
+
+    const std::uint64_t victim = 3; // odd, not divisible by 6 offset:
+                                    // present in every baseline
+    unsigned n = 1;
+    for (; n <= max_crash_points; ++n) {
+        SetRig r(kind, policy, mode);
+        ASSERT_EQ(r.ref.count(victim), 1u);
+        r.ctx.armCrashAfter(n);
+        bool crashed = false;
+        try {
+            EXPECT_TRUE(r.set->remove(0, victim));
+        } catch (const PersistCtx::CrashInjected &) {
+            crashed = true;
+        }
+        r.ctx.armCrashAfter(0);
+        if (!crashed) {
+            r.ctx.crash();
+            r.ref.erase(victim);
+            checkRecovered(kind, r, 0, true, "post-sweep");
+            break;
+        }
+        r.ctx.crash();
+        checkRecovered(kind, r, victim, false, "remove crash");
+    }
+    EXPECT_LE(n, max_crash_points)
+        << "remove never completed within the crash-point sweep";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStructures, MidOpCrash,
+    ::testing::Combine(
+        ::testing::Values(DsKind::List, DsKind::Hash, DsKind::Bst,
+                          DsKind::Skip),
+        ::testing::Values(FlushPolicy::Plain, FlushPolicy::LinkAndPersist,
+                          FlushPolicy::SkipIt),
+        ::testing::Values(PersistMode::Manual, PersistMode::NvTraverse)),
+    comboName);
+
+// ---------------------------------------------------------------------
+// The fifth structure: the Michael-Scott queue.
+
+struct QueueRig
+{
+    MemSim mem;
+    PersistCtx ctx;
+    MsQueue q;
+    std::vector<std::uint64_t> baseline;
+
+    explicit QueueRig(FlushPolicy policy)
+        : mem(PersistCtx::machineFor(policy)),
+          ctx(mem, PersistConfig{policy, PersistMode::Manual,
+                                 std::size_t{1} << 12, true}),
+          q(ctx)
+    {
+        for (std::uint64_t v = 100; v < 116; ++v) {
+            q.enqueue(0, v);
+            baseline.push_back(v);
+        }
+    }
+
+    std::vector<std::uint64_t>
+    drain()
+    {
+        std::vector<std::uint64_t> out;
+        std::uint64_t v = 0;
+        while (q.dequeue(0, v))
+            out.push_back(v);
+        return out;
+    }
+};
+
+class MidOpCrashQueue : public ::testing::TestWithParam<FlushPolicy>
+{
+};
+
+TEST_P(MidOpCrashQueue, EnqueueCrashedAtEveryWritebackIsAtomic)
+{
+    const FlushPolicy policy = GetParam();
+    const std::uint64_t extra = 999;
+    unsigned n = 1;
+    for (; n <= max_crash_points; ++n) {
+        QueueRig r(policy);
+        r.ctx.armCrashAfter(n);
+        bool crashed = false;
+        try {
+            r.q.enqueue(0, extra);
+        } catch (const PersistCtx::CrashInjected &) {
+            crashed = true;
+        }
+        r.ctx.armCrashAfter(0);
+        r.ctx.crash();
+        auto got = r.drain();
+        auto want = r.baseline;
+        if (!crashed) // completed: the enqueue must have stuck
+            want.push_back(extra);
+        if (crashed && got.size() == want.size() + 1) {
+            // In-flight enqueue allowed to land; must land at the tail.
+            want.push_back(extra);
+        }
+        EXPECT_EQ(got, want)
+            << "enqueue crash point " << n << " (no acked value may be "
+            << "lost, reordered, or zeroed)";
+        // Usable after recovery.
+        r.q.enqueue(0, 1234);
+        std::uint64_t out = 0;
+        EXPECT_TRUE(r.q.dequeue(0, out));
+        EXPECT_EQ(out, 1234u);
+        if (!crashed)
+            break;
+    }
+    EXPECT_LE(n, max_crash_points)
+        << "enqueue never completed within the crash-point sweep";
+}
+
+TEST_P(MidOpCrashQueue, DequeueCrashedAtEveryWritebackIsAtomic)
+{
+    const FlushPolicy policy = GetParam();
+    unsigned n = 1;
+    for (; n <= max_crash_points; ++n) {
+        QueueRig r(policy);
+        r.ctx.armCrashAfter(n);
+        bool crashed = false;
+        std::uint64_t out = 0;
+        bool got_value = false;
+        try {
+            got_value = r.q.dequeue(0, out);
+        } catch (const PersistCtx::CrashInjected &) {
+            crashed = true;
+        }
+        r.ctx.armCrashAfter(0);
+        r.ctx.crash();
+        auto got = r.drain();
+        auto full = r.baseline;
+        std::vector<std::uint64_t> tail(full.begin() + 1, full.end());
+        if (!crashed) {
+            EXPECT_TRUE(got_value);
+            EXPECT_EQ(out, full.front());
+            EXPECT_EQ(got, tail) << "completed dequeue did not persist";
+        } else {
+            // The in-flight dequeue either happened or didn't.
+            EXPECT_TRUE(got == full || got == tail)
+                << "dequeue crash point " << n
+                << " left a non-atomic queue state";
+        }
+        if (!crashed)
+            break;
+    }
+    EXPECT_LE(n, max_crash_points)
+        << "dequeue never completed within the crash-point sweep";
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, MidOpCrashQueue,
+                         ::testing::Values(FlushPolicy::Plain,
+                                           FlushPolicy::LinkAndPersist,
+                                           FlushPolicy::SkipIt),
+                         [](const ::testing::TestParamInfo<FlushPolicy> &i) {
+                             std::string s = toString(i.param);
+                             for (char &c : s) {
+                                 if (c == '-')
+                                     c = '_';
+                             }
+                             return s;
+                         });
+
+} // namespace
+} // namespace skipit

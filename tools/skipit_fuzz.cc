@@ -37,9 +37,15 @@ usage()
         "                   [--ops N] [--lines N] [--max-cycles C]\n"
         "                   [--no-jitter] [--max-delay D] [-j N]\n"
         "                   [--fshrs N] [--queue N] [--slices N]\n"
-        "                   [--bundle-dir DIR] [--no-shrink]\n"
-        "                   [--break-probe-invalidate]\n"
-        "       skipit-fuzz --replay DIR\n");
+        "                   [--crash N] [--crash-at C] [--parallel]\n"
+        "                   [--workers N] [--bundle-dir DIR]\n"
+        "                   [--no-shrink] [--break-probe-invalidate]\n"
+        "       skipit-fuzz --replay DIR\n"
+        "\n"
+        "  --crash N     per seed, after one clean run, re-run with the\n"
+        "                power failing at N sampled cycles and audit\n"
+        "                the frozen persist-domain image\n"
+        "  --crash-at C  crash every run at exactly cycle C\n");
 }
 
 std::uint64_t
@@ -102,6 +108,16 @@ main(int argc, char **argv)
         else if (arg == "--slices")
             spec.l2_slices =
                 static_cast<unsigned>(parseU64("slices", next()));
+        else if (arg == "--crash")
+            spec.crash_points =
+                static_cast<unsigned>(parseU64("crash points", next()));
+        else if (arg == "--crash-at")
+            spec.crash_at = parseU64("crash cycle", next());
+        else if (arg == "--parallel")
+            spec.parallel = true;
+        else if (arg == "--workers")
+            spec.workers =
+                static_cast<unsigned>(parseU64("workers", next()));
         else if (arg == "-j")
             jobs = static_cast<unsigned>(parseU64("jobs", next()));
         else if (arg.rfind("-j", 0) == 0 && arg.size() > 2)
@@ -142,7 +158,12 @@ main(int argc, char **argv)
               << " (" << spec.harts << " harts, " << spec.ops
               << " ops, " << spec.lines << " lines, jitter "
               << (spec.jitter ? "on" : "off") << ", " << jobs
-              << " jobs)\n";
+              << " jobs";
+    if (spec.crash_points > 0)
+        std::cout << ", " << spec.crash_points << " crash points/seed";
+    if (spec.crash_at != 0)
+        std::cout << ", crash at cycle " << spec.crash_at;
+    std::cout << ")\n";
 
     auto failure = workloads::runFuzz(spec, seed_base, seeds, jobs);
     if (!failure) {
