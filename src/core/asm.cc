@@ -73,6 +73,10 @@ assembleProgram(const std::string &listing)
             if (a.empty())
                 SKIPIT_FATAL("rdcycle needs a marker id: ", raw);
             program.push_back(MemOp::marker(parseNumber(a, raw)));
+        } else if (op == "waituntil") {
+            if (a.empty())
+                SKIPIT_FATAL("waituntil needs an absolute cycle: ", raw);
+            program.push_back(MemOp::waitUntil(parseNumber(a, raw)));
         } else {
             SKIPIT_FATAL("unknown mnemonic '", op, "' in line: ", raw);
         }
@@ -113,6 +117,10 @@ disassembleProgram(const Program &program)
             break;
           case MemOpKind::Marker:
             out << "rdcycle " << std::dec << op.data << std::hex << "\n";
+            break;
+          case MemOpKind::WaitUntil:
+            out << "waituntil " << std::dec << op.delay << std::hex
+                << "\n";
             break;
         }
     }

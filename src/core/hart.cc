@@ -57,8 +57,10 @@ Hart::nextWake() const
     if (pc_ >= program_.size())
         return wake_never;
     const MemOpKind k = program_[pc_].kind;
-    if (k == MemOpKind::Delay || k == MemOpKind::Marker)
+    if (k == MemOpKind::Delay || k == MemOpKind::Marker ||
+        k == MemOpKind::WaitUntil) {
         return base; // processed regardless of LSU capacity
+    }
     return lsu_.canDispatch() ? base : wake_never;
 }
 
@@ -81,6 +83,14 @@ Hart::tick()
             stall_until_ = sim_.now() + op.delay;
             ++pc_;
             return;
+        }
+        if (op.kind == MemOpKind::WaitUntil) {
+            ++pc_;
+            if (sim_.now() < op.delay) {
+                stall_until_ = op.delay;
+                return;
+            }
+            continue; // arrival time already passed: dispatch right away
         }
         if (op.kind == MemOpKind::Marker) {
             ++pc_;

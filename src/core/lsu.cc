@@ -28,6 +28,8 @@ memOpName(MemOpKind k)
         return "delay";
       case MemOpKind::Marker:
         return "marker";
+      case MemOpKind::WaitUntil:
+        return "waituntil";
     }
     return "?";
 }
@@ -46,8 +48,10 @@ std::uint64_t
 Lsu::dispatch(const MemOp &op)
 {
     SKIPIT_ASSERT(canDispatch(), "dispatch into a full LSU window");
-    SKIPIT_ASSERT(op.kind != MemOpKind::Delay,
-                  "Delay ops are handled by the Hart, not the LSU");
+    SKIPIT_ASSERT(op.kind != MemOpKind::Delay &&
+                      op.kind != MemOpKind::WaitUntil,
+                  "Delay/WaitUntil ops are handled by the Hart, not the "
+                  "LSU");
     Entry e;
     e.op = op;
     e.ticket = next_ticket_++;

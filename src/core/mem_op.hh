@@ -29,6 +29,7 @@ enum class MemOpKind
     Fence,    //!< FENCE RW,RW extended to wait on the flush counter (§5.3)
     Delay,    //!< stall dispatch for `delay` cycles (models compute)
     Marker,   //!< RDCYCLE (§7.1): record the current cycle, zero cost
+    WaitUntil, //!< stall dispatch until an absolute cycle (open-loop clock)
 };
 
 /** One operation of a hart's program. */
@@ -93,6 +94,19 @@ struct MemOp
     marker(std::uint64_t id)
     {
         return MemOp{MemOpKind::Marker, 0, 0, id, 0};
+    }
+
+    /**
+     * Stall dispatch until the absolute cycle @p c (a no-op when @p c has
+     * already passed). Open-loop traffic generators schedule each request's
+     * arrival with this: unlike Delay, the wait does not stretch when the
+     * previous operation ran long, so queueing delay shows up in the
+     * measured latency instead of silently shifting the arrival process.
+     */
+    static MemOp
+    waitUntil(Cycle c)
+    {
+        return MemOp{MemOpKind::WaitUntil, 0, 0, 0, c};
     }
 };
 

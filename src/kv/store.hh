@@ -1,0 +1,201 @@
+/**
+ * @file
+ * A durable key-value store shaped like an NVM LSM store's mutable level
+ * (ListDB-style): a skiplist index whose nodes live in a persistent node
+ * arena, an append-only value log, and a manifest (meta) line tying the
+ * two together. One store instance serves one hart over a disjoint
+ * simulated address region.
+ *
+ * The store is trace-generating: every operation is executed against a
+ * host-side functional mirror AND emitted as the exact MemOp sequence a
+ * hart would issue — index-traversal loads, value-log append stores, and
+ * a commit path of CBO.CLEAN + FENCE epochs — so the resulting Program
+ * runs through the full simulated LSU→L1→TileLink→L2→DRAM hierarchy.
+ *
+ * Commit discipline (the paper's §6 serving story): software flushes the
+ * *conservative* line footprint of each operation — every line of every
+ * record and node it may have dirtied — with no word-level dirty
+ * bookkeeping. Tracking exact dirtiness in software is precisely the
+ * overhead Skip It removes: the hardware skip bit drops the redundant
+ * cleans (a tall pred node whose second line never changed, the
+ * next-pointer line of a hot node on every update) in the L1 for ~2
+ * cycles each.
+ *
+ * Durability order per put:
+ *   1. append the value record to the log; bump the log head
+ *   2. CBO.CLEAN record + meta lines, FENCE        (value epoch)
+ *   3. for inserts: initialize the node words
+ *      CBO.CLEAN node lines, FENCE                 (node-init epoch)
+ *   4. publish: store the index pointer(s)
+ *   5. CBO.CLEAN the published lines, FENCE        (publish epoch)
+ * A crash between epochs never exposes an index pointer to bytes that
+ * are not yet durable — the invariant the durability oracle audits when
+ * skipit-kv runs with --crash.
+ */
+
+#ifndef SKIPIT_KV_STORE_HH
+#define SKIPIT_KV_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/mem_op.hh"
+#include "tilelink/messages.hh"
+
+namespace skipit::kv {
+
+/** Per-hart address-space layout of one store instance. */
+struct KvLayout
+{
+    /** First hart's region base (clear of the microbenchmark regions). */
+    static constexpr Addr default_base = 0x4000'0000;
+    /** Region stride between harts: 32 MiB keeps stores fully disjoint. */
+    static constexpr Addr region_stride = 0x0200'0000;
+    /** Manifest line (log head, node head, key count) at region base. */
+    static constexpr Addr meta_off = 0;
+    /** Node arena: bump-allocated, line-aligned skiplist nodes. */
+    static constexpr Addr node_off = 0x0001'0000;
+    /** Append-only value log (line-aligned records). */
+    static constexpr Addr log_off = 0x0100'0000;
+
+    static constexpr Addr
+    baseFor(unsigned hart)
+    {
+        return default_base + region_stride * hart;
+    }
+};
+
+/** Configuration of one store instance. */
+struct KvStoreConfig
+{
+    unsigned hart = 0;           //!< selects the address region
+    unsigned value_bytes = 64;   //!< payload size (rounded up to words)
+};
+
+/**
+ * The store. Single-writer: one instance belongs to one hart, and the
+ * emitted program is that hart's exact access trace.
+ */
+class KvStore
+{
+  public:
+    static constexpr unsigned max_level = 8;
+
+    explicit KvStore(const KvStoreConfig &cfg);
+    ~KvStore();
+
+    /**
+     * Build the initial durable image: keys 1..n at version 0. Runs the
+     * same insert path with emission disabled, so the image is exactly
+     * what a prior serving run would have left in NVMM. Call once,
+     * before any emit.
+     */
+    void prefill(std::uint64_t n);
+
+    /**
+     * The current durable image, line by line (deterministic address
+     * order) — poke into Dram before the run so the harts start against
+     * a recovered store with cold caches.
+     */
+    const std::map<Addr, LineData> &image() const { return image_; }
+
+    /// @name Operation emission (appends this op's MemOps to @p prog)
+    /// @{
+    /** Point lookup: traversal loads + value-record loads. */
+    void emitGet(Program &prog, std::uint64_t key);
+
+    /** Update an existing key: log append + two-epoch commit. */
+    void emitUpdate(Program &prog, std::uint64_t key);
+
+    /** Insert a fresh key (keyspace grows). @return the new key. */
+    std::uint64_t emitInsert(Program &prog);
+
+    /** Range scan: up to @p n consecutive keys starting at @p key. */
+    void emitScan(Program &prog, std::uint64_t key, unsigned n);
+
+    /**
+     * Epoch checkpoint: re-clean every line dirtied since the previous
+     * checkpoint, then fence. The store keeps only a coarse dirty-line
+     * log (it needs one for crash consistency anyway) and has no idea
+     * which of those lines the per-op commits already persisted — so it
+     * conservatively flushes them all. Nearly every one of these cleans
+     * is redundant, which is precisely the software bookkeeping cost the
+     * skip bit eliminates (§6.1): with Skip It on they die in the L1 in
+     * ~2 cycles; off, each is a full L1→TileLink→L2 round trip.
+     */
+    void emitCheckpoint(Program &prog);
+    /// @}
+
+    /// @name Introspection (tests, reports)
+    /// @{
+    std::uint64_t keyCount() const { return key_count_; }
+    /** Current version of @p key (0 = just prefilled). */
+    std::uint64_t version(std::uint64_t key) const;
+    /** Simulated address of @p key's current value record; 0 if absent. */
+    Addr valueAddr(std::uint64_t key) const;
+    /** Expected durable word at @p addr per the functional mirror. */
+    std::uint64_t imageWord(Addr addr) const;
+    /** Deterministic payload word @p idx of (@p key, @p version). */
+    static std::uint64_t valueWord(std::uint64_t key,
+                                   std::uint64_t version,
+                                   unsigned idx);
+    /** Deterministic tower height for @p key (1..max_level, p=1/2). */
+    static unsigned levelFor(std::uint64_t key);
+    /// @}
+
+  private:
+    struct Node;
+
+    KvStoreConfig cfg_;
+    Addr base_;
+    Addr log_head_;
+    Addr node_head_;
+    std::uint64_t key_count_ = 0;
+    unsigned value_words_;
+
+    std::unique_ptr<Node> head_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::map<std::uint64_t, Node *> by_key_; //!< mirror index
+    std::map<Addr, LineData> image_;         //!< durable byte image
+    std::set<Addr> epoch_lines_; //!< lines dirtied since the checkpoint
+
+    /// @name Meta-line word addresses
+    /// @{
+    Addr metaLogHead() const { return base_ + KvLayout::meta_off; }
+    Addr metaNodeHead() const { return base_ + KvLayout::meta_off + 8; }
+    Addr metaKeyCount() const { return base_ + KvLayout::meta_off + 16; }
+    /// @}
+
+    /** Write @p v at @p addr in the mirror image; emit a store when
+     *  @p prog is non-null. */
+    void writeWord(Program *prog, Addr addr, std::uint64_t v);
+    /** Emit a load of @p addr (mirror already knows the value). */
+    static void loadWord(Program *prog, Addr addr);
+    /** Emit CBO.CLEAN for every line covering [@p addr, @p addr+bytes)
+     *  and log the lines in the checkpoint's dirty-line set. */
+    void cleanRange(Program *prog, Addr addr, std::size_t bytes);
+
+    /** Traversal to @p key: emits the search's loads, fills preds. */
+    Node *search(Program *prog, std::uint64_t key,
+                 std::vector<Node *> &preds);
+    /** Append a (key, version) record to the log. @return its address. */
+    Addr appendRecord(Program *prog, std::uint64_t key,
+                      std::uint64_t version);
+    /** Emit loads of a whole value record at @p addr. */
+    void loadRecord(Program *prog, Addr addr) const;
+    /** The full insert path; emission optional (prefill passes null). */
+    std::uint64_t insertImpl(Program *prog);
+
+    std::size_t recordBytes() const { return (2 + value_words_) * 8; }
+    std::size_t nodeBytes(unsigned level) const
+    {
+        return (3 + static_cast<std::size_t>(level)) * 8;
+    }
+};
+
+} // namespace skipit::kv
+
+#endif // SKIPIT_KV_STORE_HH

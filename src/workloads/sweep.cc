@@ -1,5 +1,7 @@
 #include "sweep.hh"
 
+#include "json.hh"
+
 #include <atomic>
 #include <cctype>
 #include <stdexcept>
@@ -16,229 +18,6 @@ fail(const std::string &msg)
 {
     throw std::runtime_error(msg);
 }
-
-// ---------------------------------------------------------------------
-// Minimal JSON-subset parser (objects, arrays, strings, numbers, bools).
-// Hand-rolled to keep the tool dependency-free; object key order is
-// preserved because it defines the grid expansion order.
-// ---------------------------------------------------------------------
-
-struct JsonValue
-{
-    enum class Type { Null, Bool, Number, String, Array, Object };
-
-    Type type = Type::Null;
-    bool boolean = false;
-    std::string text; //!< raw token for numbers, decoded for strings
-    std::vector<JsonValue> items;
-    std::vector<std::pair<std::string, JsonValue>> fields;
-
-    const JsonValue *
-    field(const std::string &name) const
-    {
-        for (const auto &[key, value] : fields) {
-            if (key == name)
-                return &value;
-        }
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : text_(text) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = parseValue();
-        skipWs();
-        if (pos_ != text_.size())
-            fail("sweep spec: trailing characters after JSON document");
-        return v;
-    }
-
-  private:
-    const std::string &text_;
-    std::size_t pos_ = 0;
-
-    [[noreturn]] void
-    fail(const std::string &msg) const
-    {
-        throw std::runtime_error(msg + " (at offset " +
-                                 std::to_string(pos_) + ")");
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-            ++pos_;
-        }
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        if (pos_ >= text_.size())
-            fail("sweep spec: unexpected end of input");
-        return text_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("sweep spec: expected '") + c + "'");
-        ++pos_;
-    }
-
-    bool
-    consume(char c)
-    {
-        if (pos_ < text_.size() && peek() == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    JsonValue
-    parseValue()
-    {
-        switch (peek()) {
-          case '{':
-            return parseObject();
-          case '[':
-            return parseArray();
-          case '"':
-            return parseString();
-          case 't':
-          case 'f':
-            return parseBool();
-          case 'n':
-            parseLiteral("null");
-            return JsonValue{};
-          default:
-            return parseNumber();
-        }
-    }
-
-    void
-    parseLiteral(const char *lit)
-    {
-        for (const char *p = lit; *p != '\0'; ++p) {
-            if (pos_ >= text_.size() || text_[pos_] != *p)
-                fail(std::string("sweep spec: expected '") + lit + "'");
-            ++pos_;
-        }
-    }
-
-    JsonValue
-    parseBool()
-    {
-        JsonValue v;
-        v.type = JsonValue::Type::Bool;
-        if (text_[pos_] == 't') {
-            parseLiteral("true");
-            v.boolean = true;
-        } else {
-            parseLiteral("false");
-        }
-        return v;
-    }
-
-    JsonValue
-    parseString()
-    {
-        expect('"');
-        JsonValue v;
-        v.type = JsonValue::Type::String;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_++];
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    fail("sweep spec: dangling escape");
-                const char e = text_[pos_++];
-                switch (e) {
-                  case '"':
-                  case '\\':
-                  case '/':
-                    c = e;
-                    break;
-                  case 'n':
-                    c = '\n';
-                    break;
-                  case 't':
-                    c = '\t';
-                    break;
-                  default:
-                    fail("sweep spec: unsupported string escape");
-                }
-            }
-            v.text.push_back(c);
-        }
-        expect('"');
-        return v;
-    }
-
-    JsonValue
-    parseNumber()
-    {
-        JsonValue v;
-        v.type = JsonValue::Type::Number;
-        const std::size_t start = pos_;
-        consume('-');
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E' || text_[pos_] == '+' ||
-                text_[pos_] == '-')) {
-            ++pos_;
-        }
-        if (pos_ == start)
-            fail("sweep spec: expected a value");
-        v.text = text_.substr(start, pos_ - start);
-        return v;
-    }
-
-    JsonValue
-    parseArray()
-    {
-        expect('[');
-        JsonValue v;
-        v.type = JsonValue::Type::Array;
-        if (consume(']'))
-            return v;
-        for (;;) {
-            v.items.push_back(parseValue());
-            if (consume(']'))
-                return v;
-            expect(',');
-        }
-    }
-
-    JsonValue
-    parseObject()
-    {
-        expect('{');
-        JsonValue v;
-        v.type = JsonValue::Type::Object;
-        if (consume('}'))
-            return v;
-        for (;;) {
-            const JsonValue key = parseString();
-            expect(':');
-            v.fields.emplace_back(key.text, parseValue());
-            if (consume('}'))
-                return v;
-            expect(',');
-        }
-    }
-};
 
 /** An axis value token as a string (numbers verbatim, bools as 0/1). */
 std::string
@@ -543,7 +322,7 @@ validateAxes(const SweepSpec &spec, Kind kind)
 SweepSpec
 SweepSpec::fromJsonText(const std::string &text)
 {
-    const JsonValue doc = JsonParser(text).parse();
+    const JsonValue doc = parseJson(text, "sweep spec");
     if (doc.type != JsonValue::Type::Object)
         fail("sweep spec: top level must be a JSON object");
 

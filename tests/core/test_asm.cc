@@ -35,6 +35,21 @@ TEST(Assembler, ParsesAllMnemonics)
     EXPECT_EQ(p[5].delay, 25u);
 }
 
+TEST(Assembler, ParsesAndRoundTripsWaitUntil)
+{
+    const Program p = assembleProgram(R"(
+        waituntil 1234
+        load 0x1000
+    )");
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p[0].kind, MemOpKind::WaitUntil);
+    EXPECT_EQ(p[0].delay, 1234u);
+    const Program p2 = assembleProgram(disassembleProgram(p));
+    ASSERT_EQ(p2.size(), 2u);
+    EXPECT_EQ(p2[0].kind, MemOpKind::WaitUntil);
+    EXPECT_EQ(p2[0].delay, 1234u);
+}
+
 TEST(Assembler, IgnoresBlankAndCommentLines)
 {
     const Program p = assembleProgram("\n; nothing\n# nothing\n\nfence\n");

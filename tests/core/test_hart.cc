@@ -97,5 +97,52 @@ TEST(HartDispatch, DoneRequiresEverythingRetired)
     EXPECT_TRUE(soc.hart(0).done());
 }
 
+TEST(HartWaitUntil, GatesDispatchUntilTheAbsoluteCycle)
+{
+    SoCConfig cfg;
+    cfg.cores = 1;
+    SoC soc(cfg);
+    soc.hart(0).setProgram({
+        MemOp::waitUntil(500),
+        MemOp::marker(1),
+    });
+    soc.runToCompletion();
+    EXPECT_GE(soc.hart(0).markerCycle(1), 500u);
+    EXPECT_LT(soc.hart(0).markerCycle(1), 520u);
+}
+
+TEST(HartWaitUntil, PastDeadlineDispatchesImmediately)
+{
+    SoCConfig cfg;
+    cfg.cores = 1;
+    SoC soc(cfg);
+    // The open-loop contract: an arrival gate in the past never stalls
+    // (the wait is to an absolute cycle, not a relative delay).
+    soc.hart(0).setProgram({
+        MemOp::compute(200),
+        MemOp::waitUntil(50),
+        MemOp::marker(1),
+    });
+    soc.runToCompletion();
+    EXPECT_GE(soc.hart(0).markerCycle(1), 200u);
+    EXPECT_LT(soc.hart(0).markerCycle(1), 230u);
+}
+
+TEST(HartWaitUntil, SuccessiveGatesPaceAnOpenLoopProgram)
+{
+    SoCConfig cfg;
+    cfg.cores = 1;
+    SoC soc(cfg);
+    soc.hart(0).setProgram({
+        MemOp::waitUntil(100), MemOp::marker(1),
+        MemOp::waitUntil(300), MemOp::marker(2),
+        MemOp::waitUntil(600), MemOp::marker(3),
+    });
+    soc.runToCompletion();
+    EXPECT_GE(soc.hart(0).markerCycle(1), 100u);
+    EXPECT_GE(soc.hart(0).markerCycle(2), 300u);
+    EXPECT_GE(soc.hart(0).markerCycle(3), 600u);
+}
+
 } // namespace
 } // namespace skipit

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "sim/histogram.hh"
 #include "sim/stats.hh"
 
 namespace skipit {
@@ -130,6 +131,63 @@ TEST(Distribution, EmptyPercentileAndMedianAreNaN)
     EXPECT_TRUE(std::isnan(d.percentile(100)));
     d.add(1.0);
     EXPECT_DOUBLE_EQ(d.median(), 1.0); // non-empty works again
+}
+
+TEST(Distribution, SingleSampleIsEveryPercentile)
+{
+    Distribution d;
+    d.add(42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(99), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 42.0);
+    EXPECT_DOUBLE_EQ(d.min(), 42.0);
+    EXPECT_DOUBLE_EQ(d.max(), 42.0);
+}
+
+TEST(Histogram, EmptySummariesAreNaN)
+{
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_TRUE(std::isnan(h.percentile(50)));
+    EXPECT_TRUE(std::isnan(h.percentile(99)));
+    EXPECT_TRUE(std::isnan(h.median()));
+}
+
+TEST(Histogram, SingleSample)
+{
+    Histogram h;
+    h.add(7.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 7.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+}
+
+TEST(Histogram, Log2BucketBoundaries)
+{
+    // Bucket 0 holds v < 1; bucket i (i >= 1) holds [2^(i-1), 2^i).
+    // Exact powers of two are the boundary cases: 2^k opens bucket k+1.
+    Histogram h;
+    h.add(0.0);  // bucket 0
+    h.add(0.5);  // bucket 0
+    h.add(1.0);  // bucket 1: [1, 2)
+    h.add(2.0);  // bucket 2: [2, 4)
+    h.add(3.0);  // bucket 2
+    h.add(4.0);  // bucket 3: [4, 8)
+    h.add(7.0);  // bucket 3
+    h.add(8.0);  // bucket 4: [8, 16)
+    const auto &b = h.buckets();
+    ASSERT_GE(b.size(), 5u);
+    EXPECT_EQ(b[0], 2u);
+    EXPECT_EQ(b[1], 1u);
+    EXPECT_EQ(b[2], 2u);
+    EXPECT_EQ(b[3], 2u);
+    EXPECT_EQ(b[4], 1u);
+    EXPECT_DOUBLE_EQ(Histogram::bucketLow(1), 1.0);
+    EXPECT_DOUBLE_EQ(Histogram::bucketHigh(1), 2.0);
+    EXPECT_DOUBLE_EQ(Histogram::bucketLow(4), 8.0);
+    EXPECT_DOUBLE_EQ(Histogram::bucketHigh(4), 16.0);
 }
 
 } // namespace
