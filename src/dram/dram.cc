@@ -35,7 +35,7 @@ Cycle
 Dram::nextWake() const
 {
     // tick() only issues queued requests; response delivery is the LLC's
-    // concern (see respWakeAt, folded into InclusiveCache::nextWake).
+    // concern (see respWakeAt, folded into L2Cache::nextWake).
     if (req_q_.empty())
         return wake_never;
     return std::max(sim_.now(), next_issue_);

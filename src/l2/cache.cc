@@ -1,4 +1,4 @@
-#include "inclusive_cache.hh"
+#include "cache.hh"
 
 #include "sim/trace.hh"
 
@@ -42,13 +42,16 @@ mshrStateName(int state)
 
 } // namespace
 
-InclusiveCache::InclusiveCache(std::string name, Simulator &sim,
-                               const L2Config &cfg, Dram &dram, Stats &stats,
-                               unsigned slice)
+L2Cache::L2Cache(std::string name, Simulator &sim, const L2Config &cfg,
+                 Dram &dram, Stats &stats, unsigned slice)
     : Ticked(std::move(name)), sim_(sim), cfg_(cfg), dram_(dram),
       stats_(stats), slice_(slice), slice_count_(std::max(1u, cfg.slices)),
-      dir_(cfg.sets / std::max(1u, cfg.slices), cfg.ways,
-           sliceBits(std::max(1u, cfg.slices))),
+      index_(cfg.indexPolicy()), policy_(makeStatePolicy(cfg.policy)),
+      dir_(cfg.sets / std::max(1u, cfg.slices), cfg.ways, index_,
+           cfg.replace,
+           // Stir the slice index in so sibling slices' random
+           // replacement streams are independent.
+           cfg.replace_seed * 0x9e3779b97f4a7c15ULL + slice + 1),
       store_(cfg.sets / std::max(1u, cfg.slices), cfg.ways),
       mshrs_(cfg.mshrs), list_buffer_(cfg.list_buffer_cap)
 {
@@ -59,14 +62,14 @@ InclusiveCache::InclusiveCache(std::string name, Simulator &sim,
 }
 
 void
-InclusiveCache::connectClient(AgentId id, TLLink &link)
+L2Cache::connectClient(AgentId id, TLLink &link)
 {
     owned_ports_.push_back(std::make_unique<TLDirectPort>(link));
     connectPort(id, *owned_ports_.back());
 }
 
 void
-InclusiveCache::connectPort(AgentId id, TLClientPort &port)
+L2Cache::connectPort(AgentId id, TLClientPort &port)
 {
     if (static_cast<std::size_t>(id) >= ports_.size())
         ports_.resize(id + 1, nullptr);
@@ -75,7 +78,7 @@ InclusiveCache::connectPort(AgentId id, TLClientPort &port)
 }
 
 void
-InclusiveCache::tick()
+L2Cache::tick()
 {
     drainDramResponses();
     acceptChannelC();
@@ -87,7 +90,7 @@ InclusiveCache::tick()
 }
 
 Cycle
-InclusiveCache::nextWake() const
+L2Cache::nextWake() const
 {
     const Cycle now = sim_.now();
 
@@ -121,7 +124,7 @@ InclusiveCache::nextWake() const
 }
 
 bool
-InclusiveCache::idle() const
+L2Cache::idle() const
 {
     for (const Mshr &m : mshrs_) {
         if (m.valid)
@@ -131,13 +134,13 @@ InclusiveCache::idle() const
 }
 
 bool
-InclusiveCache::isResident(Addr line_addr) const
+L2Cache::isResident(Addr line_addr) const
 {
     return dir_.findWay(lineAlign(line_addr)) >= 0;
 }
 
 bool
-InclusiveCache::isDirty(Addr line_addr) const
+L2Cache::isDirty(Addr line_addr) const
 {
     const Addr line = lineAlign(line_addr);
     const int way = dir_.findWay(line);
@@ -147,7 +150,7 @@ InclusiveCache::isDirty(Addr line_addr) const
 }
 
 std::optional<Addr>
-InclusiveCache::firstForeignLine(bool scan_directory) const
+L2Cache::firstForeignLine(bool scan_directory) const
 {
     if (slice_count_ <= 1)
         return std::nullopt;
@@ -178,7 +181,7 @@ InclusiveCache::firstForeignLine(bool scan_directory) const
 }
 
 bool
-InclusiveCache::lineBusy(Addr line_addr) const
+L2Cache::lineBusy(Addr line_addr) const
 {
     const Addr line = lineAlign(line_addr);
     if (mshrForLine(line) >= 0)
@@ -191,7 +194,7 @@ InclusiveCache::lineBusy(Addr line_addr) const
 }
 
 std::uint64_t
-InclusiveCache::dramTagFor(unsigned mshr_idx, bool tracked) const
+L2Cache::dramTagFor(unsigned mshr_idx, bool tracked) const
 {
     const std::uint64_t slice_field = static_cast<std::uint64_t>(slice_)
                                       << tag_slice_shift;
@@ -201,14 +204,14 @@ InclusiveCache::dramTagFor(unsigned mshr_idx, bool tracked) const
 }
 
 bool
-InclusiveCache::dramTagMine(std::uint64_t tag) const
+L2Cache::dramTagMine(std::uint64_t tag) const
 {
     return ((tag >> tag_slice_shift) & ~(untracked_bit >> tag_slice_shift))
            == slice_;
 }
 
 void
-InclusiveCache::drainDramResponses()
+L2Cache::drainDramResponses()
 {
     while (dram_.respReady()) {
         if (dram_.peekResp().tag & untracked_bit) {
@@ -232,15 +235,17 @@ InclusiveCache::drainDramResponses()
                       "DRAM response for idle MSHR");
         m.awaiting_dram = false;
         if (!resp.write) {
-            // Fill from memory: install line data and a clean dir entry.
+            // Fill from memory: the state policy decides whether the
+            // bytes land in the store (inclusive) or ride the MSHR
+            // stash to the Grant (exclusive).
             SKIPIT_ASSERT(m.state == Mshr::State::Fetch, "fill outside Fetch");
-            store_.write(m.set, static_cast<unsigned>(m.way), resp.data);
             DirEntry &e = dir_.entry(m.set, static_cast<unsigned>(m.way));
-            e.valid = true;
-            e.tag = dir_.tagOf(m.line);
-            e.dirty = false;
-            e.branches = 0;
-            e.trunk = invalid_agent;
+            m.grant_from_stash = !policy_->applyFill(
+                e, store_, m.set, static_cast<unsigned>(m.way),
+                dir_.tagOf(m.line), resp.data);
+            if (m.grant_from_stash)
+                m.fill_data = resp.data;
+            dir_.recordFill(m.set, static_cast<unsigned>(m.way));
             m.state = Mshr::State::Respond;
             m.wait_until = sim_.now() + cfg_.data_latency;
         } else {
@@ -255,7 +260,7 @@ InclusiveCache::drainDramResponses()
 }
 
 void
-InclusiveCache::applyReport(DirEntry &e, AgentId src, Shrink param)
+L2Cache::applyReport(DirEntry &e, AgentId src, Shrink param)
 {
     switch (param) {
       case Shrink::TtoN:
@@ -273,17 +278,18 @@ InclusiveCache::applyReport(DirEntry &e, AgentId src, Shrink param)
 }
 
 void
-InclusiveCache::handleRelease(const CMsg &msg)
+L2Cache::handleRelease(const CMsg &msg)
 {
     const int way = dir_.findWay(msg.addr);
     SKIPIT_ASSERT(way >= 0, "voluntary Release for non-resident line ",
-                  std::hex, msg.addr, " violates inclusivity");
+                  std::hex, msg.addr,
+                  " violates directory holder-inclusivity");
     const unsigned set = dir_.setOf(msg.addr);
     DirEntry &e = dir_.entry(set, static_cast<unsigned>(way));
     applyReport(e, msg.source, msg.param);
     if (msg.op == COp::ReleaseData) {
-        store_.write(set, static_cast<unsigned>(way), msg.data);
-        e.dirty = true;
+        policy_->applyWriteback(e, store_, set, static_cast<unsigned>(way),
+                                msg.data);
     }
     stats_["l2.releases"]++;
     DMsg ack;
@@ -295,7 +301,7 @@ InclusiveCache::handleRelease(const CMsg &msg)
 }
 
 void
-InclusiveCache::applyRootReleaseArrival(const CMsg &msg)
+L2Cache::applyRootReleaseArrival(const CMsg &msg)
 {
     const int way = dir_.findWay(msg.addr);
     if (way < 0) {
@@ -307,13 +313,13 @@ InclusiveCache::applyRootReleaseArrival(const CMsg &msg)
     DirEntry &e = dir_.entry(set, static_cast<unsigned>(way));
     applyReport(e, msg.source, msg.param);
     if (msg.hasData()) {
-        store_.write(set, static_cast<unsigned>(way), msg.data);
-        e.dirty = true;
+        policy_->applyWriteback(e, store_, set, static_cast<unsigned>(way),
+                                msg.data);
     }
 }
 
 void
-InclusiveCache::handleProbeAck(const CMsg &msg)
+L2Cache::handleProbeAck(const CMsg &msg)
 {
     const int idx = [&] {
         for (unsigned i = 0; i < mshrs_.size(); ++i) {
@@ -339,16 +345,14 @@ InclusiveCache::handleProbeAck(const CMsg &msg)
         for_victim ? m.victim_way : m.way);
     DirEntry &e = dir_.entry(set, way);
     applyReport(e, msg.source, msg.param);
-    if (msg.op == COp::ProbeAckData) {
-        store_.write(set, way, msg.data);
-        e.dirty = true;
-    }
+    if (msg.op == COp::ProbeAckData)
+        policy_->applyWriteback(e, store_, set, way, msg.data);
     SKIPIT_ASSERT(m.pending_acks > 0, "unexpected ProbeAck");
     --m.pending_acks;
 }
 
 void
-InclusiveCache::acceptChannelC()
+L2Cache::acceptChannelC()
 {
     for (TLClientPort *port : ports_) {
         if (!port)
@@ -385,7 +389,7 @@ InclusiveCache::acceptChannelC()
 }
 
 void
-InclusiveCache::acceptChannelE()
+L2Cache::acceptChannelE()
 {
     for (TLClientPort *port : ports_) {
         if (!port)
@@ -411,7 +415,7 @@ InclusiveCache::acceptChannelE()
 }
 
 void
-InclusiveCache::retryListBuffer()
+L2Cache::retryListBuffer()
 {
     while (!list_buffer_.empty()) {
         if (!tryAllocRootRelease(list_buffer_.front()))
@@ -421,7 +425,7 @@ InclusiveCache::retryListBuffer()
 }
 
 void
-InclusiveCache::acceptChannelA()
+L2Cache::acceptChannelA()
 {
     for (TLClientPort *port : ports_) {
         if (!port)
@@ -437,7 +441,7 @@ InclusiveCache::acceptChannelA()
 }
 
 int
-InclusiveCache::findFreeMshr() const
+L2Cache::findFreeMshr() const
 {
     for (unsigned i = 0; i < mshrs_.size(); ++i) {
         if (!mshrs_[i].valid)
@@ -447,7 +451,7 @@ InclusiveCache::findFreeMshr() const
 }
 
 int
-InclusiveCache::mshrForLine(Addr line) const
+L2Cache::mshrForLine(Addr line) const
 {
     for (unsigned i = 0; i < mshrs_.size(); ++i) {
         const Mshr &m = mshrs_[i];
@@ -465,7 +469,7 @@ InclusiveCache::mshrForLine(Addr line) const
 }
 
 bool
-InclusiveCache::tryAllocRootRelease(const CMsg &msg)
+L2Cache::tryAllocRootRelease(const CMsg &msg)
 {
     if (mshrForLine(msg.addr) >= 0)
         return false;
@@ -507,7 +511,7 @@ InclusiveCache::tryAllocRootRelease(const CMsg &msg)
 }
 
 bool
-InclusiveCache::tryAllocAcquire(const AMsg &msg)
+L2Cache::tryAllocAcquire(const AMsg &msg)
 {
     if (mshrForLine(msg.addr) >= 0)
         return false;
@@ -538,7 +542,7 @@ InclusiveCache::tryAllocAcquire(const AMsg &msg)
 }
 
 std::vector<AgentId>
-InclusiveCache::holdersOf(const DirEntry &e, AgentId except) const
+L2Cache::holdersOf(const DirEntry &e, AgentId except) const
 {
     std::vector<AgentId> out;
     for (AgentId id = 0; id < static_cast<AgentId>(ports_.size()); ++id) {
@@ -551,8 +555,8 @@ InclusiveCache::holdersOf(const DirEntry &e, AgentId except) const
 }
 
 void
-InclusiveCache::startProbes(Mshr &m, Addr line, Cap cap,
-                            const std::vector<AgentId> &targets)
+L2Cache::startProbes(Mshr &m, Addr line, Cap cap,
+                     const std::vector<AgentId> &targets)
 {
     SKIPIT_ASSERT(!targets.empty(), "startProbes with no targets");
     m.pending_acks = static_cast<unsigned>(targets.size());
@@ -568,7 +572,7 @@ InclusiveCache::startProbes(Mshr &m, Addr line, Cap cap,
 }
 
 void
-InclusiveCache::tickMshr(unsigned idx)
+L2Cache::tickMshr(unsigned idx)
 {
     Mshr &m = mshrs_[idx];
     if (!m.valid || sim_.now() < m.wait_until)
@@ -649,6 +653,11 @@ InclusiveCache::tickMshr(unsigned idx)
             if (!targets.empty()) {
                 startProbes(m, m.line, cap, targets);
                 m.state = Mshr::State::ProbeHolders;
+            } else if (policy_->needsFetch(e)) {
+                // Tag-only hit (exclusive policy): holders are settled
+                // but the bytes live in DRAM; fetch before granting.
+                m.state = Mshr::State::Fetch;
+                m.wait_until = sim_.now();
             } else {
                 m.state = Mshr::State::Respond;
                 m.wait_until = sim_.now() + cfg_.data_latency;
@@ -690,7 +699,9 @@ InclusiveCache::tickMshr(unsigned idx)
             const std::vector<AgentId> targets =
                 holdersOf(v, invalid_agent);
             if (!targets.empty()) {
-                // Inclusive back-invalidation of every L1 copy.
+                // Back-invalidation of every L1 copy: the directory is
+                // holder-inclusive under every state policy, so an
+                // evicted entry must leave no tracked L1 copies behind.
                 startProbes(m, m.victim_line, Cap::toN, targets);
                 m.state = Mshr::State::EvictProbe;
             } else {
@@ -712,6 +723,8 @@ InclusiveCache::tickMshr(unsigned idx)
       case Mshr::State::EvictWriteback: {
         DirEntry &v = dir_.entry(m.set, static_cast<unsigned>(m.victim_way));
         if (v.dirty) {
+            // dirty implies data_resident under every state policy, so
+            // the store read below is always backed by real bytes.
             if (!dram_.canAccept())
                 return;
             MemReq req;
@@ -756,6 +769,12 @@ InclusiveCache::tickMshr(unsigned idx)
             return;
         if (m.kind == Mshr::Kind::RootRelease) {
             m.state = Mshr::State::MemWriteback;
+        } else if (policy_->needsFetch(
+                       dir_.entry(m.set, static_cast<unsigned>(m.way)))) {
+            // The probes settled permissions but delivered no data
+            // (clean holders, tag-only entry): fetch from DRAM, which
+            // is current for a clean line.
+            m.state = Mshr::State::Fetch;
         } else {
             m.state = Mshr::State::Respond;
             m.wait_until = sim_.now() + cfg_.data_latency;
@@ -784,9 +803,13 @@ InclusiveCache::tickMshr(unsigned idx)
             }
             return;
         }
-        const bool must_write = e.dirty || !cfg_.llc_skip;
+        // A clean line skips the DRAM write when llc_skip says memory
+        // is already current (§5.5) — and unconditionally when the
+        // entry is tag-only (exclusive policy): there are no bytes
+        // here to write, DRAM has the only copy.
+        const bool must_write =
+            e.dirty || (!cfg_.llc_skip && e.data_resident);
         if (!must_write) {
-            // LLC trivial skip (§5.5): clean line, memory already current.
             stats_["l2.rootrelease.llc_skipped"]++;
             m.state = Mshr::State::Respond;
             m.wait_until = sim_.now();
@@ -796,7 +819,10 @@ InclusiveCache::tickMshr(unsigned idx)
                     name() + ".mshr" + std::to_string(idx),
                     "clean in LLC: DRAM write skipped", m.line,
                     lineFingerprint(
-                        store_.read(m.set, static_cast<unsigned>(m.way))));
+                        e.data_resident
+                            ? store_.read(m.set,
+                                          static_cast<unsigned>(m.way))
+                            : dram_.peekLine(m.line)));
             }
             return;
         }
@@ -870,11 +896,17 @@ InclusiveCache::tickMshr(unsigned idx)
         dir_.touch(m.set, static_cast<unsigned>(m.way));
 
         DMsg grant;
-        grant.op = (e.dirty && cfg_.grant_data_dirty) ? DOp::GrantDataDirty
-                                                      : DOp::GrantData;
+        // A stash grant is a clean fill by construction; only
+        // store-resident dirty bytes ever ride GrantDataDirty.
+        grant.op = (!m.grant_from_stash && e.dirty &&
+                    cfg_.grant_data_dirty)
+                       ? DOp::GrantDataDirty
+                       : DOp::GrantData;
         grant.addr = m.line;
         grant.cap = cap;
-        grant.data = store_.read(m.set, static_cast<unsigned>(m.way));
+        grant.data = m.grant_from_stash
+                         ? m.fill_data
+                         : store_.read(m.set, static_cast<unsigned>(m.way));
         grant.dest = m.requester;
         grant.txn = m.txn;
         ports_[m.requester]->sendD(grant, TLLink::beatsFor(grant));
@@ -894,7 +926,7 @@ InclusiveCache::tickMshr(unsigned idx)
 }
 
 void
-InclusiveCache::emitMshrState(unsigned idx) const
+L2Cache::emitMshrState(unsigned idx) const
 {
     const Mshr &m = mshrs_[idx];
     sim_.probes().instant(sim_.now(), m.txn, "l2.mshr.state",
@@ -907,7 +939,7 @@ InclusiveCache::emitMshrState(unsigned idx) const
 // ---------------------------------------------------------------------
 
 void
-InclusiveCache::snapshotResources(
+L2Cache::snapshotResources(
     std::vector<probe::ResourceSnapshot> &out) const
 {
     for (unsigned i = 0; i < mshrs_.size(); ++i) {

@@ -1,8 +1,16 @@
 /**
  * @file
- * The shared inclusive last-level cache, modelled on the SiFive inclusive
- * cache (§3.4) with the paper's RootRelease support added (§5.5) and the
- * Skip-It GrantDataDirty response (§6).
+ * The shared last-level cache, modelled on the SiFive inclusive cache
+ * (§3.4) with the paper's RootRelease support added (§5.5) and the
+ * Skip-It GrantDataDirty response (§6) — refactored into a
+ * policy-agnostic MSHR/transaction core composed with three swappable
+ * policy layers:
+ *
+ *  - state/inclusivity (src/l2/policy/): inclusive (the paper's L2,
+ *    the default) or exclusive (clean fills bypass the BankedStore);
+ *  - indexing (src/l2/index.hh): modulo or hashed slice+set mapping,
+ *    shared with the TLXbar so routing and residency cannot disagree;
+ *  - replacement (src/l2/replace.hh): lru / fifo / seeded random.
  *
  * Structure follows the original: SinkC dispatches incoming C-channel
  * traffic, a ListBuffer holds RootReleases awaiting an MSHR, MSHRs run the
@@ -11,8 +19,8 @@
  * SourceD issues responses.
  */
 
-#ifndef SKIPIT_L2_INCLUSIVE_CACHE_HH
-#define SKIPIT_L2_INCLUSIVE_CACHE_HH
+#ifndef SKIPIT_L2_CACHE_HH
+#define SKIPIT_L2_CACHE_HH
 
 #include <cstdint>
 #include <memory>
@@ -22,6 +30,9 @@
 #include "banked_store.hh"
 #include "directory.hh"
 #include "dram/dram.hh"
+#include "index.hh"
+#include "policy/state_policy.hh"
+#include "replace.hh"
 #include "sim/queues.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
@@ -52,24 +63,48 @@ struct L2Config
      *  Off = plain GrantData always, i.e. a pre-Skip-It L2. */
     bool grant_data_dirty = true;
     /** Address-interleaved slice count (power of two). Each slice owns
-     *  sets/slices sets of the total capacity and every line whose
-     *  slice bits (just above the line offset) select it. 1 = the
-     *  paper's single monolithic L2. */
+     *  sets/slices sets of the total capacity and every line the
+     *  indexing policy homes to it. 1 = the paper's single monolithic
+     *  L2. */
     unsigned slices = 1;
+
+    /// @name Policy layers (defaults reproduce the paper's L2 exactly)
+    /// @{
+    StateKind policy = StateKind::Inclusive;
+    IndexKind index = IndexKind::Modulo;
+    ReplaceKind replace = ReplaceKind::Lru;
+    /** Hashed-index key (index == Hashed only). */
+    std::uint64_t index_seed = 0x736b697034686173ULL;
+    /** Seeded-random replacement stream (replace == Random only). */
+    std::uint64_t replace_seed = 1;
+    /// @}
+
+    /** The indexing-policy value shared by the crossbar and every
+     *  slice — the single source of truth for line homing. */
+    L2IndexPolicy
+    indexPolicy() const
+    {
+        L2IndexPolicy p;
+        p.kind = index;
+        p.slices = std::max(1u, slices);
+        p.sets_per_slice = sets / p.slices;
+        p.seed = index_seed;
+        return p;
+    }
 };
 
 /**
- * One slice of the inclusive LLC (the whole LLC when L2Config::slices
- * is 1). Acts as TileLink manager on each client port and as client to
- * the (shared) DRAM controller, claiming only its own completions by
+ * One slice of the LLC (the whole LLC when L2Config::slices is 1).
+ * Acts as TileLink manager on each client port and as client to the
+ * (shared) DRAM controller, claiming only its own completions by
  * slice-encoded tag.
  */
-class InclusiveCache : public Ticked, public probe::Inspectable
+class L2Cache : public Ticked, public probe::Inspectable
 {
   public:
     /** @param slice this instance's slice index in [0, cfg.slices) */
-    InclusiveCache(std::string name, Simulator &sim, const L2Config &cfg,
-                   Dram &dram, Stats &stats, unsigned slice = 0);
+    L2Cache(std::string name, Simulator &sim, const L2Config &cfg,
+            Dram &dram, Stats &stats, unsigned slice = 0);
 
     /** Attach client @p id's link point-to-point (single-slice wiring
      *  and unit tests); call once per L1 before simulating. */
@@ -85,15 +120,17 @@ class InclusiveCache : public Ticked, public probe::Inspectable
     /** True when no transaction is in flight (quiesced). */
     bool idle() const;
 
-    /// @name Slice geometry
+    /// @name Slice geometry and policies
     /// @{
     unsigned sliceIndex() const { return slice_; }
     unsigned sliceCount() const { return slice_count_; }
+    const L2IndexPolicy &indexPolicy() const { return index_; }
+    const StatePolicy &statePolicy() const { return *policy_; }
     /** Does this slice's address range contain @p line_addr? */
     bool
     homesLine(Addr line_addr) const
     {
-        return sliceOfLine(lineAlign(line_addr), slice_count_) == slice_;
+        return index_.sliceOf(lineAlign(line_addr)) == slice_;
     }
     /// @}
 
@@ -160,6 +197,12 @@ class InclusiveCache : public Ticked, public probe::Inspectable
         int victim_way = -1;
         bool victim_dirty = false;
 
+        // Store-bypassing fill (exclusive state policy): the fill's
+        // bytes are stashed here and granted directly, never entering
+        // the BankedStore.
+        bool grant_from_stash = false;
+        LineData fill_data{};
+
         unsigned pending_acks = 0;
         std::vector<AgentId> to_probe;
         Cap probe_cap = Cap::toN;
@@ -175,6 +218,8 @@ class InclusiveCache : public Ticked, public probe::Inspectable
 
     unsigned slice_;
     unsigned slice_count_;
+    L2IndexPolicy index_;
+    std::unique_ptr<const StatePolicy> policy_;
     std::vector<TLClientPort *> ports_;
     /** Ports created by connectClient() (point-to-point wiring). */
     std::vector<std::unique_ptr<TLDirectPort>> owned_ports_;
@@ -231,6 +276,10 @@ class InclusiveCache : public Ticked, public probe::Inspectable
     void emitMshrState(unsigned idx) const;
 };
 
+/** The pre-refactor name. The default policy is still the paper's
+ *  inclusive L2; existing tests and tools refer to it this way. */
+using InclusiveCache = L2Cache;
+
 } // namespace skipit
 
-#endif // SKIPIT_L2_INCLUSIVE_CACHE_HH
+#endif // SKIPIT_L2_CACHE_HH

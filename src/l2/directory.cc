@@ -2,12 +2,18 @@
 
 namespace skipit {
 
-Directory::Directory(unsigned sets, unsigned ways, unsigned index_shift)
-    : sets_(sets), ways_(ways), index_shift_(index_shift),
+Directory::Directory(unsigned sets, unsigned ways,
+                     const L2IndexPolicy &index, ReplaceKind replace,
+                     std::uint64_t replace_seed)
+    : sets_(sets), ways_(ways), index_(index),
       entries_(static_cast<std::size_t>(sets) * ways),
-      lru_stamp_(entries_.size(), 0), locked_(entries_.size(), false)
+      locked_(entries_.size(), false),
+      replace_(replace, sets, ways, replace_seed)
 {
     SKIPIT_ASSERT(sets > 0 && ways > 0, "directory geometry must be > 0");
+    SKIPIT_ASSERT(index.sets_per_slice == sets,
+                  "index policy sets_per_slice (", index.sets_per_slice,
+                  ") disagrees with directory sets (", sets, ")");
 }
 
 int
@@ -38,29 +44,27 @@ Directory::entry(unsigned set, unsigned way) const
 void
 Directory::touch(unsigned set, unsigned way)
 {
-    lru_stamp_[index(set, way)] = ++stamp_;
+    replace_.touch(set, way);
+}
+
+void
+Directory::recordFill(unsigned set, unsigned way)
+{
+    replace_.fill(set, way);
 }
 
 int
 Directory::pickVictim(unsigned set) const
 {
-    // Prefer an invalid, unlocked way.
+    std::uint64_t valid = 0;
+    std::uint64_t unlocked = 0;
     for (unsigned w = 0; w < ways_; ++w) {
-        if (!entries_[index(set, w)].valid && !locked_[index(set, w)])
-            return static_cast<int>(w);
+        if (entries_[index(set, w)].valid)
+            valid |= std::uint64_t{1} << w;
+        if (!locked_[index(set, w)])
+            unlocked |= std::uint64_t{1} << w;
     }
-    // Otherwise the least recently used unlocked way.
-    int victim = -1;
-    std::uint64_t best = ~std::uint64_t{0};
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (locked_[index(set, w)])
-            continue;
-        if (lru_stamp_[index(set, w)] < best) {
-            best = lru_stamp_[index(set, w)];
-            victim = static_cast<int>(w);
-        }
-    }
-    return victim;
+    return replace_.pickVictim(set, valid, unlocked);
 }
 
 void

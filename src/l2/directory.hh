@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "index.hh"
+#include "replace.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -25,6 +27,10 @@ struct DirEntry
     bool valid = false;
     Addr tag = 0;
     bool dirty = false;
+    /** Does the BankedStore hold this line's bytes? Always true under
+     *  the inclusive state policy; the exclusive policy tracks holders
+     *  tag-only for clean fills (dirty implies data_resident). */
+    bool data_resident = true;
     /** Bitmask of read-only holders; 64 bits covers the maximum hart
      *  count (SoCConfig::cores <= 64). */
     std::uint64_t branches = 0;
@@ -64,30 +70,40 @@ struct DirEntry
 };
 
 /**
- * Set-associative directory with per-set LRU replacement and way locking
- * (a locked way belongs to an active MSHR transaction and must not be
- * chosen as a victim).
+ * Set-associative directory with pluggable indexing (src/l2/index.hh),
+ * pluggable replacement (src/l2/replace.hh), and way locking (a locked
+ * way belongs to an active MSHR transaction and must not be chosen as
+ * a victim).
  */
 class Directory
 {
   public:
     /**
-     * @param index_shift extra address bits skipped between the line
-     *        offset and the set index. An address-interleaved L2 slice
-     *        passes its slice-bit count here so that the lines it homes
-     *        (which share their slice bits) spread across all its sets
-     *        instead of aliasing into every slices-th one.
+     * @param index the shared indexing policy; its sets_per_slice must
+     *        equal @p sets (the slice passes its own geometry).
+     * @param replace victim-selection heuristic.
+     * @param replace_seed seeded-random replacement stream; the slice
+     *        stirs its index in so sibling slices draw independently.
      */
-    Directory(unsigned sets, unsigned ways, unsigned index_shift = 0);
+    Directory(unsigned sets, unsigned ways, const L2IndexPolicy &index,
+              ReplaceKind replace = ReplaceKind::Lru,
+              std::uint64_t replace_seed = 1);
+
+    /** Single-slice modulo-indexed directory (unit tests). */
+    Directory(unsigned sets, unsigned ways)
+        : Directory(sets, ways, L2IndexPolicy::modulo(1, sets))
+    {
+    }
 
     unsigned sets() const { return sets_; }
     unsigned ways() const { return ways_; }
+    const L2IndexPolicy &indexPolicy() const { return index_; }
+    ReplaceKind replaceKind() const { return replace_.kind(); }
 
     unsigned
     setOf(Addr line_addr) const
     {
-        return static_cast<unsigned>(
-            (line_addr >> (line_shift + index_shift_)) % sets_);
+        return index_.setOf(line_addr);
     }
 
     Addr
@@ -109,12 +125,16 @@ class Directory
         return entry(set, way).tag << line_shift;
     }
 
-    /** Mark @p way most-recently used in @p set. */
+    /** The line in @p way was used; the replacement policy learns. */
     void touch(unsigned set, unsigned way);
 
+    /** A line was installed into @p way (FIFO replacement stamps). */
+    void recordFill(unsigned set, unsigned way);
+
     /**
-     * Choose a victim way in @p set: an invalid way if one exists,
-     * otherwise the LRU unlocked way.
+     * Choose a victim way in @p set: an invalid unlocked way if one
+     * exists, otherwise the replacement policy's pick among the
+     * unlocked ways.
      * @return way index, or -1 if every way is locked
      */
     int pickVictim(unsigned set) const;
@@ -126,11 +146,12 @@ class Directory
   private:
     unsigned sets_;
     unsigned ways_;
-    unsigned index_shift_;
+    L2IndexPolicy index_;
     std::vector<DirEntry> entries_;
-    std::vector<std::uint64_t> lru_stamp_;
     std::vector<bool> locked_;
-    std::uint64_t stamp_ = 0;
+    /** mutable: pickVictim is logically a query, but seeded-random
+     *  replacement advances its stream on each draw. */
+    mutable ReplacePolicy replace_;
 
     std::size_t
     index(unsigned set, unsigned way) const

@@ -1,0 +1,49 @@
+#include "exclusive.hh"
+
+#include "sim/logging.hh"
+
+namespace skipit {
+
+bool
+ExclusivePolicy::applyFill(DirEntry &e, BankedStore &store, unsigned set,
+                           unsigned way, Addr tag,
+                           const LineData &data) const
+{
+    // The bypass at the heart of the policy: the clean fill's bytes go
+    // straight to the requester (from the MSHR stash), never into the
+    // store. A tag-only hit keeps its holder records; a miss starts a
+    // fresh entry.
+    (void)store;
+    (void)set;
+    (void)way;
+    (void)data;
+    if (!e.valid) {
+        e = DirEntry{};
+        e.valid = true;
+        e.tag = tag;
+    } else {
+        SKIPIT_ASSERT(e.tag == tag, "exclusive fill into mismatched tag");
+        SKIPIT_ASSERT(!e.dirty,
+                      "exclusive fill for a dirty (data-resident) entry");
+    }
+    e.data_resident = false;
+    return false;
+}
+
+void
+ExclusivePolicy::applyWriteback(DirEntry &e, BankedStore &store,
+                                unsigned set, unsigned way,
+                                const LineData &data) const
+{
+    store.write(set, way, data);
+    e.dirty = true;
+    e.data_resident = true;
+}
+
+bool
+ExclusivePolicy::needsFetch(const DirEntry &e) const
+{
+    return !e.data_resident;
+}
+
+} // namespace skipit

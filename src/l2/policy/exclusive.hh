@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The exclusive (non-inclusive data) state policy: clean Grant fills
+ * bypass the BankedStore entirely — the Directory tracks holders
+ * without data residency, and the store only ever holds bytes that
+ * arrived dirty on channel C (the LLC as a victim cache). A later hit
+ * on a tag-only entry re-fetches from DRAM, which is sound because a
+ * tag-only entry is by construction clean (dirty implies resident).
+ */
+
+#ifndef SKIPIT_L2_POLICY_EXCLUSIVE_HH
+#define SKIPIT_L2_POLICY_EXCLUSIVE_HH
+
+#include "state_policy.hh"
+
+namespace skipit {
+
+class ExclusivePolicy final : public StatePolicy
+{
+  public:
+    StateKind kind() const override { return StateKind::Exclusive; }
+    bool dataAlwaysResident() const override { return false; }
+
+    bool applyFill(DirEntry &e, BankedStore &store, unsigned set,
+                   unsigned way, Addr tag,
+                   const LineData &data) const override;
+
+    void applyWriteback(DirEntry &e, BankedStore &store, unsigned set,
+                        unsigned way, const LineData &data) const override;
+
+    bool needsFetch(const DirEntry &e) const override;
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_L2_POLICY_EXCLUSIVE_HH

@@ -1,0 +1,19 @@
+#include "exclusive.hh"
+#include "inclusive.hh"
+#include "sim/logging.hh"
+
+namespace skipit {
+
+std::unique_ptr<const StatePolicy>
+makeStatePolicy(StateKind kind)
+{
+    switch (kind) {
+      case StateKind::Inclusive:
+        return std::make_unique<InclusivePolicy>();
+      case StateKind::Exclusive:
+        return std::make_unique<ExclusivePolicy>();
+    }
+    SKIPIT_PANIC("unknown L2 state policy");
+}
+
+} // namespace skipit

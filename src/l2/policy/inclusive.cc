@@ -1,0 +1,39 @@
+#include "inclusive.hh"
+
+namespace skipit {
+
+bool
+InclusivePolicy::applyFill(DirEntry &e, BankedStore &store, unsigned set,
+                           unsigned way, Addr tag,
+                           const LineData &data) const
+{
+    // Inclusive fills never hit a valid entry (a valid entry always has
+    // data, so DirLookup responds without fetching); install the bytes
+    // and a fresh clean entry.
+    store.write(set, way, data);
+    e.valid = true;
+    e.tag = tag;
+    e.dirty = false;
+    e.branches = 0;
+    e.trunk = invalid_agent;
+    e.data_resident = true;
+    return true;
+}
+
+void
+InclusivePolicy::applyWriteback(DirEntry &e, BankedStore &store,
+                                unsigned set, unsigned way,
+                                const LineData &data) const
+{
+    store.write(set, way, data);
+    e.dirty = true;
+}
+
+bool
+InclusivePolicy::needsFetch(const DirEntry &e) const
+{
+    (void)e;
+    return false;
+}
+
+} // namespace skipit

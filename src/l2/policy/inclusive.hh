@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The inclusive state policy: the paper's SiFive-style L2 (§3.4),
+ * extracted verbatim from the pre-policy monolith. Every valid
+ * directory entry's data is resident in the BankedStore.
+ */
+
+#ifndef SKIPIT_L2_POLICY_INCLUSIVE_HH
+#define SKIPIT_L2_POLICY_INCLUSIVE_HH
+
+#include "state_policy.hh"
+
+namespace skipit {
+
+class InclusivePolicy final : public StatePolicy
+{
+  public:
+    StateKind kind() const override { return StateKind::Inclusive; }
+    bool dataAlwaysResident() const override { return true; }
+
+    bool applyFill(DirEntry &e, BankedStore &store, unsigned set,
+                   unsigned way, Addr tag,
+                   const LineData &data) const override;
+
+    void applyWriteback(DirEntry &e, BankedStore &store, unsigned set,
+                        unsigned way, const LineData &data) const override;
+
+    bool needsFetch(const DirEntry &e) const override;
+};
+
+} // namespace skipit
+
+#endif // SKIPIT_L2_POLICY_INCLUSIVE_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The L2 state/inclusivity policy: what a directory entry promises
+ * about data residency, factored out of the transaction core
+ * (FlexiCAS's msi/mesi/exclusive.hpp direction).
+ *
+ * The MSHR core (src/l2/cache.cc) is policy-agnostic: it runs the same
+ * DirLookup / Evict / Fetch / Probe / Writeback / Respond state machine
+ * for every policy and delegates the three decisions that differ:
+ *
+ *  - applyFill: where a DRAM fill's bytes land. Inclusive installs
+ *    them in the BankedStore; exclusive leaves the entry tag-only and
+ *    the core grants straight from the MSHR's fill stash.
+ *  - applyWriteback: how a C-channel data payload (ReleaseData,
+ *    ProbeAckData, RootReleaseData) is absorbed. Both install into the
+ *    store — dirty bytes are the one thing even an exclusive LLC must
+ *    keep — but exclusive additionally flips the entry data-resident.
+ *  - needsFetch: whether a directory hit still requires DRAM data
+ *    before a Grant can be served (exclusive tag-only hits do).
+ *
+ * Both policies keep the Directory *holder*-inclusive: every line an
+ * L1 holds has a directory entry recording the holder, and evicting an
+ * entry back-invalidates the L1 copies. Only *data* inclusivity is
+ * policy-dependent (DirEntry::data_resident); the checker's value and
+ * DRAM sweeps consult it, and dataAlwaysResident() turns data
+ * residency itself into a checked invariant for the inclusive policy.
+ */
+
+#ifndef SKIPIT_L2_POLICY_STATE_POLICY_HH
+#define SKIPIT_L2_POLICY_STATE_POLICY_HH
+
+#include <memory>
+#include <string>
+
+#include "l2/banked_store.hh"
+#include "l2/directory.hh"
+#include "sim/types.hh"
+
+namespace skipit {
+
+enum class StateKind
+{
+    Inclusive, //!< the paper's SiFive-style inclusive MESI L2
+    Exclusive, //!< non-inclusive/exclusive data, inclusive directory
+};
+
+inline const char *
+toString(StateKind k)
+{
+    return k == StateKind::Exclusive ? "exclusive" : "inclusive";
+}
+
+/** @return false if @p token names no state policy. */
+inline bool
+stateKindFromString(const std::string &token, StateKind &out)
+{
+    if (token == "inclusive") {
+        out = StateKind::Inclusive;
+        return true;
+    }
+    if (token == "exclusive" || token == "noninclusive") {
+        out = StateKind::Exclusive;
+        return true;
+    }
+    return false;
+}
+
+/** See file comment. Stateless; one shared instance per cache. */
+class StatePolicy
+{
+  public:
+    virtual ~StatePolicy() = default;
+
+    virtual StateKind kind() const = 0;
+
+    /** Does every valid directory entry hold its line's data in the
+     *  BankedStore? True makes data residency a checked invariant. */
+    virtual bool dataAlwaysResident() const = 0;
+
+    /**
+     * Install a DRAM fill for the line tagged @p tag into entry @p e
+     * (either invalid, or a valid tag-only hit whose holders must be
+     * preserved). @return true when the store now holds the bytes (the
+     * Grant reads the store); false when the Grant must be served from
+     * the MSHR's fill stash instead.
+     */
+    virtual bool applyFill(DirEntry &e, BankedStore &store, unsigned set,
+                           unsigned way, Addr tag,
+                           const LineData &data) const = 0;
+
+    /** Absorb a C-channel data payload (ReleaseData / ProbeAckData /
+     *  RootReleaseData) into entry @p e. */
+    virtual void applyWriteback(DirEntry &e, BankedStore &store,
+                                unsigned set, unsigned way,
+                                const LineData &data) const = 0;
+
+    /** After a directory hit (or probe completion): must the core fetch
+     *  the line from DRAM before it can serve a Grant? */
+    virtual bool needsFetch(const DirEntry &e) const = 0;
+};
+
+std::unique_ptr<const StatePolicy> makeStatePolicy(StateKind kind);
+
+} // namespace skipit
+
+#endif // SKIPIT_L2_POLICY_STATE_POLICY_HH

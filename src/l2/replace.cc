@@ -1,0 +1,84 @@
+#include "replace.hh"
+
+#include "sim/logging.hh"
+
+namespace skipit {
+
+ReplacePolicy::ReplacePolicy(ReplaceKind kind, unsigned sets,
+                             unsigned ways, std::uint64_t seed)
+    : kind_(kind), sets_(sets), ways_(ways),
+      stamp_(static_cast<std::size_t>(sets) * ways, 0),
+      rng_state_(seed | 1) // xorshift must not start at 0
+{
+    SKIPIT_ASSERT(sets > 0 && ways > 0 && ways <= 64,
+                  "replacement geometry must be 1..64 ways");
+}
+
+std::uint64_t &
+ReplacePolicy::stamp(unsigned set, unsigned way)
+{
+    SKIPIT_ASSERT(set < sets_ && way < ways_, "replacement index OOB");
+    return stamp_[static_cast<std::size_t>(set) * ways_ + way];
+}
+
+void
+ReplacePolicy::touch(unsigned set, unsigned way)
+{
+    if (kind_ == ReplaceKind::Lru)
+        stamp(set, way) = ++counter_;
+}
+
+void
+ReplacePolicy::fill(unsigned set, unsigned way)
+{
+    if (kind_ == ReplaceKind::Fifo)
+        stamp(set, way) = ++counter_;
+    // Lru deliberately ignores fills: the stamp is only advanced by
+    // touch (the grant), matching the extracted Directory behavior the
+    // default configuration is bit-identical against.
+}
+
+int
+ReplacePolicy::pickVictim(unsigned set, std::uint64_t valid,
+                          std::uint64_t unlocked)
+{
+    // Prefer an invalid, unlocked way (lowest index).
+    for (unsigned w = 0; w < ways_; ++w) {
+        const std::uint64_t bit = std::uint64_t{1} << w;
+        if (!(valid & bit) && (unlocked & bit))
+            return static_cast<int>(w);
+    }
+
+    if (kind_ == ReplaceKind::Random) {
+        unsigned candidates[64];
+        unsigned n = 0;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (unlocked & (std::uint64_t{1} << w))
+                candidates[n++] = w;
+        }
+        if (n == 0)
+            return -1;
+        // xorshift64; the modulo bias over tiny way counts is
+        // irrelevant for an eviction heuristic.
+        rng_state_ ^= rng_state_ << 13;
+        rng_state_ ^= rng_state_ >> 7;
+        rng_state_ ^= rng_state_ << 17;
+        return static_cast<int>(candidates[rng_state_ % n]);
+    }
+
+    // Lru / Fifo: minimum stamp among unlocked ways (ties -> lowest
+    // index, matching the extracted Directory scan order).
+    int victim = -1;
+    std::uint64_t best = ~std::uint64_t{0};
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!(unlocked & (std::uint64_t{1} << w)))
+            continue;
+        if (stamp(set, w) < best) {
+            best = stamp(set, w);
+            victim = static_cast<int>(w);
+        }
+    }
+    return victim;
+}
+
+} // namespace skipit

@@ -34,7 +34,7 @@
 #include "core/mem_op.hh"
 #include "dram/dram.hh"
 #include "l1/data_cache.hh"
-#include "l2/inclusive_cache.hh"
+#include "l2/cache.hh"
 #include "soc/soc.hh"
 
 // Comparative platform models (Figures 11-12)

@@ -18,12 +18,17 @@ SoC::SoC(const SoCConfig &cfg) : cfg_(cfg)
                   "the parallel engine requires the crossbar topology");
 
     dram_ = std::make_unique<Dram>("dram", sim_, cfg.dram, stats_);
-    if (!cfg.direct_l2_wiring)
-        xbar_ = std::make_unique<TLXbar>("xbar", sim_, slices);
+    if (!cfg.direct_l2_wiring) {
+        // One L2IndexPolicy value feeds both the crossbar's routing and
+        // every slice's directory indexing — the single source of truth
+        // for where a line homes.
+        xbar_ = std::make_unique<TLXbar>("xbar", sim_,
+                                         cfg.l2.indexPolicy());
+    }
     for (unsigned s = 0; s < slices; ++s) {
         const std::string sn =
             slices == 1 ? "l2" : "l2.s" + std::to_string(s);
-        l2s_.push_back(std::make_unique<InclusiveCache>(
+        l2s_.push_back(std::make_unique<L2Cache>(
             sn, sim_, cfg.l2, *dram_, stats_, s));
     }
 
@@ -168,6 +173,9 @@ SoCConfig::describe() const
        << l2.ways << "-way, " << l2.mshrs << " MSHRs, llc-skip "
        << (l2.llc_skip ? "on" : "off") << ", grant-data-dirty "
        << (l2.grant_data_dirty ? "on" : "off") << "\n"
+       << "l2 policies: " << toString(l2.policy) << ", "
+       << toString(l2.index) << " index, " << toString(l2.replace)
+       << " replacement\n"
        << "topology: "
        << (direct_l2_wiring ? "direct point-to-point"
                             : "crossbar, " +

@@ -17,7 +17,7 @@
 #include "core/lsu.hh"
 #include "dram/dram.hh"
 #include "l1/data_cache.hh"
-#include "l2/inclusive_cache.hh"
+#include "l2/cache.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 #include "sim/watchdog.hh"
@@ -110,9 +110,9 @@ class SoC
     Lsu &lsu(unsigned core) { return *lsus_.at(core); }
     DataCache &l1(unsigned core) { return *l1s_.at(core); }
     /** Slice 0 — the whole L2 in the default slices=1 configuration. */
-    InclusiveCache &l2() { return *l2s_.front(); }
+    L2Cache &l2() { return *l2s_.front(); }
     /** Slice @p slice of the address-interleaved L2. */
-    InclusiveCache &l2(unsigned slice) { return *l2s_.at(slice); }
+    L2Cache &l2(unsigned slice) { return *l2s_.at(slice); }
     unsigned l2Slices() const { return unsigned(l2s_.size()); }
     /** True when every L2 slice (and the crossbar) is quiesced. */
     bool l2Idle() const;
@@ -143,7 +143,7 @@ class SoC
     Stats stats_;
     std::unique_ptr<Dram> dram_;
     std::unique_ptr<TLXbar> xbar_;
-    std::vector<std::unique_ptr<InclusiveCache>> l2s_;
+    std::vector<std::unique_ptr<L2Cache>> l2s_;
     std::vector<std::unique_ptr<TLLink>> links_;
     std::vector<std::unique_ptr<DataCache>> l1s_;
     std::vector<std::unique_ptr<Lsu>> lsus_;

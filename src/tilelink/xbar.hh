@@ -9,9 +9,11 @@
  * directory across address-interleaved slices); this crossbar is the
  * interconnect half of that refactor:
  *
- *  - Requests (channels A, C, E) are routed by the slice bits of the
- *    line address — sliceOfLine() picks bits just above the line
- *    offset, so consecutive lines stripe across slices.
+ *  - Requests (channels A, C, E) are routed by the home slice of the
+ *    line address, computed by the same L2IndexPolicy the cache slices
+ *    themselves index with (src/l2/index.hh) — modulo striping or a
+ *    seeded hash; either way the crossbar and the cache cannot
+ *    disagree about a line's home.
  *  - Responses (channels B, D) are routed back by agent id: D by the
  *    message's dest field, B by the probed client's port identity.
  *  - Arbitration is deterministic round-robin per channel: each tick
@@ -38,32 +40,13 @@
 #include <memory>
 #include <vector>
 
+#include "l2/index.hh"
 #include "link.hh"
 #include "messages.hh"
 #include "sim/logging.hh"
 #include "sim/ticked.hh"
 
 namespace skipit {
-
-/** log2 of the slice count; slice counts must be powers of two. */
-inline unsigned
-sliceBits(unsigned slices)
-{
-    SKIPIT_ASSERT(slices >= 1 && (slices & (slices - 1)) == 0,
-                  "slice count must be a power of two, got ", slices);
-    unsigned bits = 0;
-    while ((1u << bits) < slices)
-        ++bits;
-    return bits;
-}
-
-/** Home slice of a line: the address bits just above the line offset. */
-inline unsigned
-sliceOfLine(Addr line_addr, unsigned slices)
-{
-    return static_cast<unsigned>((line_addr >> line_shift) &
-                                 (static_cast<Addr>(slices) - 1));
-}
 
 /**
  * The manager-side view of one client connection. The inclusive cache
@@ -141,14 +124,25 @@ class TLDirectPort final : public TLClientPort
 class TLXbar final : public Ticked
 {
   public:
+    /** @param index the shared indexing policy — pass the same value
+     *  (L2Config::indexPolicy()) to every cache slice. */
+    TLXbar(std::string name, const Simulator &sim,
+           const L2IndexPolicy &index)
+        : Ticked(std::move(name)), sim_(sim), index_(index),
+          slices_(index.slices), slice_bits_(sliceBits(index.slices)),
+          a_routed_(index.slices, 0), c_routed_(index.slices, 0),
+          e_routed_(index.slices, 0)
+    {
+    }
+
+    /** Plain modulo-indexed crossbar over @p slices (unit tests). */
     TLXbar(std::string name, const Simulator &sim, unsigned slices)
-        : Ticked(std::move(name)), sim_(sim), slices_(slices),
-          slice_bits_(sliceBits(slices)), a_routed_(slices, 0),
-          c_routed_(slices, 0), e_routed_(slices, 0)
+        : TLXbar(std::move(name), sim, L2IndexPolicy::modulo(slices, 1))
     {
     }
 
     unsigned slices() const { return slices_; }
+    const L2IndexPolicy &indexPolicy() const { return index_; }
     /** Width of the slice-selection field, in address bits. */
     unsigned sliceBitCount() const { return slice_bits_; }
     unsigned clients() const
@@ -332,7 +326,7 @@ class TLXbar final : public Ticked
     unsigned
     routeSliceOf(Addr addr)
     {
-        unsigned s = sliceOfLine(lineAlign(addr), slices_);
+        unsigned s = index_.sliceOf(lineAlign(addr));
         if (misroute_a_) {
             s ^= 1u; // flip the low slice bit: guaranteed wrong home
             misroute_a_ = false;
@@ -362,7 +356,7 @@ class TLXbar final : public Ticked
             return;
         while (l->c.ready()) {
             CMsg m = l->c.recv();
-            const unsigned s = sliceOfLine(lineAlign(m.addr), slices_);
+            const unsigned s = index_.sliceOf(lineAlign(m.addr));
             endpoints_[s][c]->cq.push_back(std::move(m));
             ++c_routed_[s];
         }
@@ -376,7 +370,7 @@ class TLXbar final : public Ticked
             return;
         while (l->e.ready()) {
             EMsg m = l->e.recv();
-            const unsigned s = sliceOfLine(lineAlign(m.addr), slices_);
+            const unsigned s = index_.sliceOf(lineAlign(m.addr));
             endpoints_[s][c]->eq.push_back(std::move(m));
             ++e_routed_[s];
         }
@@ -404,6 +398,7 @@ class TLXbar final : public Ticked
     }
 
     const Simulator &sim_;
+    L2IndexPolicy index_;
     unsigned slices_;
     unsigned slice_bits_;
     std::vector<TLLink *> links_;

@@ -7,7 +7,7 @@
 #include "dram/dram.hh"
 #include "l1/data_cache.hh"
 #include "l2/directory.hh"
-#include "l2/inclusive_cache.hh"
+#include "l2/cache.hh"
 #include "sim/logging.hh"
 
 namespace skipit::verify {
@@ -171,13 +171,15 @@ CoherenceChecker::fail(const char *invariant, std::string detail)
         violations_.push_back({sim_.now(), invariant, std::move(detail)});
 }
 
-const InclusiveCache *
+const L2Cache *
 CoherenceChecker::homeL2(Addr line) const
 {
     if (l2s_.empty())
         return nullptr;
-    return l2s_[sliceOfLine(lineAlign(line),
-                            static_cast<unsigned>(l2s_.size()))];
+    // The slices share one indexing policy (modulo or hashed); ask it
+    // where the line homes. l2s_ is registered in slice order.
+    const unsigned s = l2s_.front()->indexPolicy().sliceOf(lineAlign(line));
+    return s < l2s_.size() ? l2s_[s] : nullptr;
 }
 
 bool
@@ -189,7 +191,7 @@ CoherenceChecker::lineQuiet(Addr line) const
     }
     // Every slice, not just the home one: a misrouted transaction (the
     // very fault slice-routing exists to catch) is still in-flight state.
-    for (const InclusiveCache *l2 : l2s_) {
+    for (const L2Cache *l2 : l2s_) {
         if (l2->lineBusy(line))
             return false;
     }
@@ -233,7 +235,7 @@ CoherenceChecker::checkL1Structural(std::size_t idx)
 
             // inclusivity: the home slice's directory records (at least)
             // what the L1 actually holds. The reverse is legal in flight.
-            if (const InclusiveCache *l2 = homeL2(line)) {
+            if (const L2Cache *l2 = homeL2(line)) {
                 const Directory &dir = l2->directory();
                 const int l2_way = dir.findWay(line);
                 if (l2_way < 0) {
@@ -378,7 +380,7 @@ CoherenceChecker::checkValues(std::size_t idx)
             const Addr line = arrays.addrOf(set, way);
             if (!lineQuiet(line))
                 continue;
-            const InclusiveCache &l2 = *homeL2(line);
+            const L2Cache &l2 = *homeL2(line);
             const Directory &dir = l2.directory();
             const int l2_way = dir.findWay(line);
             if (l2_way < 0)
@@ -388,15 +390,28 @@ CoherenceChecker::checkValues(std::size_t idx)
                 dir.entry(l2_set, static_cast<unsigned>(l2_way));
 
             // value-coherence: a clean quiet L1 line is a byte-exact copy
-            // of the L2's version (however either got it).
+            // of the L2's version (however either got it). A tag-only
+            // entry (exclusive state policy) has no L2 bytes; the clean
+            // line's ground truth is DRAM instead.
             const LineData &l1_bytes = arrays.data(set, way);
-            const LineData &l2_bytes =
-                l2.store().read(l2_set, static_cast<unsigned>(l2_way));
-            if (std::memcmp(l1_bytes.data(), l2_bytes.data(),
-                            line_bytes) != 0) {
-                fail("value-coherence", detail::concat(
-                         "l1[", idx, "] clean copy of 0x", std::hex, line,
-                         " differs from the L2 copy"));
+            if (e.data_resident) {
+                const LineData &l2_bytes =
+                    l2.store().read(l2_set, static_cast<unsigned>(l2_way));
+                if (std::memcmp(l1_bytes.data(), l2_bytes.data(),
+                                line_bytes) != 0) {
+                    fail("value-coherence", detail::concat(
+                             "l1[", idx, "] clean copy of 0x", std::hex,
+                             line, " differs from the L2 copy"));
+                }
+            } else if (dram_ != nullptr) {
+                const LineData dram_bytes = dram_->peekLine(line);
+                if (std::memcmp(l1_bytes.data(), dram_bytes.data(),
+                                line_bytes) != 0) {
+                    fail("value-coherence", detail::concat(
+                             "l1[", idx, "] clean copy of 0x", std::hex,
+                             line, " differs from DRAM (L2 entry is "
+                             "tag-only)"));
+                }
             }
 
             // skip-soundness (§6): skip set on a clean line means no
@@ -420,14 +435,36 @@ CoherenceChecker::checkL2DramSweep()
     // pokeLine() of resident lines (DMA-style tests poke then CBO.INVAL).
     if (l2s_.empty() || dram_ == nullptr)
         return;
-    for (const InclusiveCache *l2 : l2s_) {
+    for (const L2Cache *l2 : l2s_) {
         const Directory &dir = l2->directory();
+        const bool always_resident =
+            l2->statePolicy().dataAlwaysResident();
         for (unsigned set = 0; set < dir.sets(); ++set) {
             for (unsigned way = 0; way < dir.ways(); ++way) {
                 const DirEntry &e = dir.entry(set, way);
-                if (!e.valid || e.dirty)
+                if (!e.valid)
                     continue;
                 const Addr line = dir.addrOf(set, way);
+
+                // data-residency: the state policy's residency contract.
+                // Inclusive keeps every line's bytes; under any policy a
+                // dirty line must be backed by real store bytes.
+                if (always_resident && !e.data_resident) {
+                    fail("data-residency", detail::concat(
+                             "L2 slice ", l2->sliceIndex(),
+                             " entry 0x", std::hex, line,
+                             " is tag-only under an always-resident "
+                             "state policy"));
+                }
+                if (e.dirty && !e.data_resident) {
+                    fail("data-residency", detail::concat(
+                             "L2 slice ", l2->sliceIndex(),
+                             " entry 0x", std::hex, line,
+                             " is dirty but its bytes are not resident"));
+                }
+
+                if (e.dirty || !e.data_resident)
+                    continue;
                 if (!lineQuiet(line))
                     continue;
                 const LineData dram_bytes = dram_->peekLine(line);
@@ -447,14 +484,13 @@ CoherenceChecker::checkL2DramSweep()
 void
 CoherenceChecker::checkSliceRouting(bool deep)
 {
-    for (const InclusiveCache *l2 : l2s_) {
+    for (const L2Cache *l2 : l2s_) {
         if (const auto line = l2->firstForeignLine(deep)) {
             fail("slice-routing", detail::concat(
                      "L2 slice ", l2->sliceIndex(),
                      deep ? " holds" : " is working on", " line 0x",
                      std::hex, *line, " which homes to slice ", std::dec,
-                     sliceOfLine(lineAlign(*line),
-                                 static_cast<unsigned>(l2s_.size()))));
+                     l2->indexPolicy().sliceOf(lineAlign(*line))));
         }
     }
 }

@@ -70,7 +70,7 @@
 
 namespace skipit {
 class DataCache;
-class InclusiveCache;
+class L2Cache;
 class Dram;
 } // namespace skipit
 
@@ -117,7 +117,7 @@ class CoherenceChecker : public Ticked
     void addL1(const DataCache &l1);
     /** Register one L2 slice; call once per slice in slice-index order
      *  (a single call for the monolithic slices=1 L2). */
-    void setL2(const InclusiveCache &l2) { l2s_.push_back(&l2); }
+    void setL2(const L2Cache &l2) { l2s_.push_back(&l2); }
     void setDram(const Dram &dram) { dram_ = &dram; }
     /// @}
 
@@ -148,7 +148,7 @@ class CoherenceChecker : public Ticked
     CheckerConfig cfg_;
     std::vector<const DataCache *> l1s_;
     /** L2 slices in slice-index order; one entry when slices=1. */
-    std::vector<const InclusiveCache *> l2s_;
+    std::vector<const L2Cache *> l2s_;
     const Dram *dram_ = nullptr;
 
     std::vector<Violation> violations_;
@@ -171,7 +171,7 @@ class CoherenceChecker : public Ticked
     void snapshotFshrStates();
 
     /** The slice whose address range contains @p line (null if none). */
-    const InclusiveCache *homeL2(Addr line) const;
+    const L2Cache *homeL2(Addr line) const;
 
     /** Is any machinery in the whole hierarchy working on @p line? */
     bool lineQuiet(Addr line) const;

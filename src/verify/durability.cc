@@ -6,7 +6,7 @@
 #include "dram/dram.hh"
 #include "l1/data_cache.hh"
 #include "l2/directory.hh"
-#include "l2/inclusive_cache.hh"
+#include "l2/cache.hh"
 #include "sim/logging.hh"
 
 namespace skipit::verify {
@@ -250,7 +250,7 @@ DurabilityOracle::scanSummary() const
         }
         s.queued_cbos += l1->flushQueue().size();
     }
-    for (const InclusiveCache *l2 : l2s_) {
+    for (const L2Cache *l2 : l2s_) {
         const Directory &dir = l2->directory();
         for (unsigned set = 0; set < dir.sets(); ++set) {
             for (unsigned way = 0; way < dir.ways(); ++way) {

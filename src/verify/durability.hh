@@ -65,7 +65,7 @@
 
 namespace skipit {
 class DataCache;
-class InclusiveCache;
+class L2Cache;
 class Dram;
 } // namespace skipit
 
@@ -115,7 +115,7 @@ class DurabilityOracle : public Ticked, public probe::Sink
     /// @name Wiring (SoC construction)
     /// @{
     void addL1(const DataCache &l1);
-    void setL2(const InclusiveCache &l2) { l2s_.push_back(&l2); }
+    void setL2(const L2Cache &l2) { l2s_.push_back(&l2); }
     void setDram(const Dram &dram) { dram_ = &dram; }
     /// @}
 
@@ -187,7 +187,7 @@ class DurabilityOracle : public Ticked, public probe::Sink
     Simulator &sim_;
     DurabilityConfig cfg_;
     std::vector<const DataCache *> l1s_;
-    std::vector<const InclusiveCache *> l2s_;
+    std::vector<const L2Cache *> l2s_;
     const Dram *dram_ = nullptr;
 
     std::vector<probe::Event> pending_;   //!< this cycle's events

@@ -237,6 +237,9 @@ fuzzConfig(const FuzzSpec &spec, std::uint64_t seed)
     if (spec.flush_queue_depth > 0)
         cfg.l1.flush_queue_depth = spec.flush_queue_depth;
     cfg.l2.slices = std::max(1u, spec.l2_slices);
+    cfg.l2.policy = spec.l2_policy;
+    cfg.l2.index = spec.l2_index;
+    cfg.l2.replace = spec.l2_replace;
     if (spec.parallel) {
         cfg.engine = Simulator::Engine::parallel;
         cfg.workers = spec.workers;
@@ -591,6 +594,9 @@ writeReplayBundle(const FuzzSpec &in_spec, const FuzzFailure &failure,
         << "fshrs " << spec.fshrs << "\n"
         << "flush_queue_depth " << spec.flush_queue_depth << "\n"
         << "l2_slices " << spec.l2_slices << "\n"
+        << "l2_policy " << toString(spec.l2_policy) << "\n"
+        << "l2_index " << toString(spec.l2_index) << "\n"
+        << "l2_replace " << toString(spec.l2_replace) << "\n"
         << "break_probe_invalidate "
         << (spec.break_probe_invalidate ? 1 : 0) << "\n"
         << "crash_at " << spec.crash_at << "\n"
@@ -664,7 +670,21 @@ readReplayBundle(const std::string &dir, std::vector<Program> &programs)
             ls >> spec.lines;
         else if (key == "pool_base")
             ls >> std::hex >> spec.pool_base >> std::dec;
-        else if (key == "jitter" || key == "max_delay" ||
+        else if (key == "l2_policy" || key == "l2_index" ||
+                 key == "l2_replace") {
+            std::string token;
+            ls >> token;
+            const bool known =
+                key == "l2_policy"
+                    ? stateKindFromString(token, spec.l2_policy)
+                    : key == "l2_index"
+                          ? indexKindFromString(token, spec.l2_index)
+                          : replaceKindFromString(token, spec.l2_replace);
+            if (!known) {
+                SKIPIT_FATAL("fuzz: bad ", key, " value '", token,
+                             "' in ", dir, "/config.txt");
+            }
+        } else if (key == "jitter" || key == "max_delay" ||
                  key == "max_cycles" || key == "fshrs" ||
                  key == "flush_queue_depth" || key == "l2_slices" ||
                  key == "break_probe_invalidate" || key == "crash_at" ||

@@ -66,6 +66,10 @@ struct FuzzSpec
                               //!< 1 keeps entries queued, the §5.4 corner
     unsigned flush_queue_depth = 0; //!< override queue depth (0 = default)
     unsigned l2_slices = 1;   //!< address-interleaved L2 slice count
+    /// L2 policy layers (see src/l2/): part of the replay identity.
+    StateKind l2_policy = StateKind::Inclusive;
+    IndexKind l2_index = IndexKind::Modulo;
+    ReplaceKind l2_replace = ReplaceKind::Lru;
     bool break_probe_invalidate = false; //!< negative-control fault
     /** Crash (power-fail) cycles to sample per seed, after one clean
      *  run establishes the seed's natural length. 0 = no crash axis. */

@@ -139,6 +139,19 @@ applyCycleParam(CycleParams &p, const std::string &name,
         p.cfg.l2.llc_skip = parseFlag(name, token);
     else if (name == "l2_slices")
         p.cfg.l2.slices = static_cast<unsigned>(parseU64(name, token));
+    else if (name == "l2_policy") {
+        if (!stateKindFromString(token, p.cfg.l2.policy))
+            fail("sweep: l2_policy must be 'inclusive' or 'exclusive', "
+                 "got '" + token + "'");
+    } else if (name == "l2_index") {
+        if (!indexKindFromString(token, p.cfg.l2.index))
+            fail("sweep: l2_index must be 'modulo' or 'hashed', got '" +
+                 token + "'");
+    } else if (name == "l2_replace") {
+        if (!replaceKindFromString(token, p.cfg.l2.replace))
+            fail("sweep: l2_replace must be 'lru', 'fifo' or 'random', "
+                 "got '" + token + "'");
+    }
     else if (name == "grant_data_dirty")
         p.cfg.l2.grant_data_dirty = parseFlag(name, token);
     else if (name == "dram_latency")

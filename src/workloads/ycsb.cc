@@ -353,6 +353,9 @@ runKv(const KvSpec &spec)
     SoCConfig cfg;
     cfg.cores = spec.cores;
     cfg.l2.slices = std::max(1u, spec.slices);
+    cfg.l2.policy = spec.l2_policy;
+    cfg.l2.index = spec.l2_index;
+    cfg.l2.replace = spec.l2_replace;
     cfg.engine = spec.engine == "parallel" ? Simulator::Engine::parallel
                                            : Simulator::Engine::serial;
     cfg.workers = spec.workers;
@@ -471,6 +474,24 @@ KvBenchSpec::fromJsonText(const std::string &text)
             throw std::runtime_error("kv bench spec: 'distribution' must "
                                      "be a string");
         spec.base.distribution = v->text;
+    }
+    if (const JsonValue *v = doc.field("l2_policy")) {
+        if (v->type != JsonValue::Type::String ||
+            !stateKindFromString(v->text, spec.base.l2_policy))
+            throw std::runtime_error("kv bench spec: 'l2_policy' must be "
+                                     "\"inclusive\" or \"exclusive\"");
+    }
+    if (const JsonValue *v = doc.field("l2_index")) {
+        if (v->type != JsonValue::Type::String ||
+            !indexKindFromString(v->text, spec.base.l2_index))
+            throw std::runtime_error("kv bench spec: 'l2_index' must be "
+                                     "\"modulo\" or \"hashed\"");
+    }
+    if (const JsonValue *v = doc.field("l2_replace")) {
+        if (v->type != JsonValue::Type::String ||
+            !replaceKindFromString(v->text, spec.base.l2_replace))
+            throw std::runtime_error("kv bench spec: 'l2_replace' must be "
+                                     "\"lru\", \"fifo\" or \"random\"");
     }
     if (const JsonValue *v = doc.field("mixes")) {
         if (v->type != JsonValue::Type::Array || v->items.empty())
@@ -597,8 +618,19 @@ writeKvBenchJson(const KvBenchResult &result, std::ostream &os)
        << "    \"arrival_period\": " << b.arrival_period << ",\n"
        << "    \"distribution\": \"" << b.distribution << "\",\n"
        << "    \"theta\": " << jnum(b.theta) << ",\n"
-       << "    \"slices\": " << b.slices << ",\n"
-       << "    \"scan_len\": " << b.scan_len << ",\n"
+       << "    \"slices\": " << b.slices << ",\n";
+    // Policy keys appear only when non-default, keeping the default
+    // config's output byte-identical to the pre-policy format (the
+    // golden bench files pin those bytes).
+    if (b.l2_policy != StateKind::Inclusive)
+        os << "    \"l2_policy\": \"" << toString(b.l2_policy) << "\",\n";
+    if (b.l2_index != IndexKind::Modulo)
+        os << "    \"l2_index\": \"" << toString(b.l2_index) << "\",\n";
+    if (b.l2_replace != ReplaceKind::Lru) {
+        os << "    \"l2_replace\": \"" << toString(b.l2_replace)
+           << "\",\n";
+    }
+    os << "    \"scan_len\": " << b.scan_len << ",\n"
        << "    \"checkpoint_every\": " << b.checkpoint_every << "\n"
        << "  },\n"
        << "  \"runs\": [\n";

@@ -34,6 +34,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "l2/index.hh"
+#include "l2/policy/state_policy.hh"
+#include "l2/replace.hh"
 #include "sim/histogram.hh"
 #include "sim/random.hh"
 #include "sim/types.hh"
@@ -83,6 +86,10 @@ struct KvSpec
     std::uint64_t ops = 4096;   //!< operations per hart
     unsigned cores = 2;
     unsigned slices = 1;        //!< L2 slices
+    /// L2 policy layers (see src/l2/); defaults match the paper's L2.
+    StateKind l2_policy = StateKind::Inclusive;
+    IndexKind l2_index = IndexKind::Modulo;
+    ReplaceKind l2_replace = ReplaceKind::Lru;
     std::string engine = "serial"; //!< serial|parallel (result-neutral)
     unsigned workers = 0;       //!< parallel-engine threads (0 = hw)
     bool skipit = true;

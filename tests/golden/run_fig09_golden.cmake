@@ -1,0 +1,21 @@
+# Run the fig09 CBO-scaling bench grid in a scratch directory and diff
+# the CSV it emits against the checked-in golden copy — the default
+# configuration's Fig 9 cycle counts are pinned byte for byte. Invoked
+# by ctest; see tests/CMakeLists.txt (cli_fig09_golden).
+
+execute_process(
+    COMMAND ${BENCH_BIN} --benchmark_filter=NONE
+    WORKING_DIRECTORY ${WORKDIR}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fig09_cbo_scaling exited with ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORKDIR}/fig09_cbo_scaling.csv ${GOLDEN}
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "fig09 CSV differs from golden ${GOLDEN}")
+endif()

@@ -11,7 +11,7 @@
 #include <cstring>
 
 #include "dram/dram.hh"
-#include "l2/inclusive_cache.hh"
+#include "l2/cache.hh"
 
 namespace skipit {
 namespace {

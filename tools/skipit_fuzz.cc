@@ -39,6 +39,9 @@ usage()
         "                   [--fshrs N] [--queue N] [--slices N]\n"
         "                   [--crash N] [--crash-at C] [--parallel]\n"
         "                   [--workers N] [--bundle-dir DIR]\n"
+        "                   [--l2-policy inclusive|exclusive]\n"
+        "                   [--l2-index modulo|hashed]\n"
+        "                   [--l2-replace lru|fifo|random]\n"
         "                   [--no-shrink] [--break-probe-invalidate]\n"
         "       skipit-fuzz --replay DIR\n"
         "\n"
@@ -108,6 +111,22 @@ main(int argc, char **argv)
         else if (arg == "--slices")
             spec.l2_slices =
                 static_cast<unsigned>(parseU64("slices", next()));
+        else if (arg == "--l2-policy") {
+            if (!stateKindFromString(next(), spec.l2_policy)) {
+                std::fprintf(stderr, "skipit-fuzz: bad --l2-policy\n");
+                return 2;
+            }
+        } else if (arg == "--l2-index") {
+            if (!indexKindFromString(next(), spec.l2_index)) {
+                std::fprintf(stderr, "skipit-fuzz: bad --l2-index\n");
+                return 2;
+            }
+        } else if (arg == "--l2-replace") {
+            if (!replaceKindFromString(next(), spec.l2_replace)) {
+                std::fprintf(stderr, "skipit-fuzz: bad --l2-replace\n");
+                return 2;
+            }
+        }
         else if (arg == "--crash")
             spec.crash_points =
                 static_cast<unsigned>(parseU64("crash points", next()));

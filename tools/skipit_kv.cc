@@ -72,6 +72,9 @@ usage()
         "[--ops N]\n"
         "                 [--slices N] [--engine serial|parallel] "
         "[--workers N]\n"
+        "                 [--l2-policy inclusive|exclusive] "
+        "[--l2-index modulo|hashed]\n"
+        "                 [--l2-replace lru|fifo|random]\n"
         "                 [--distribution zipfian|uniform] [--theta T]\n"
         "                 [--value-bytes N] [--period N] [--scan-len N]\n"
         "                 [--seed N] [--spec FILE] [-o FILE]\n"
@@ -175,6 +178,18 @@ main(int argc, char **argv)
         } else if (arg == "--slices" && i + 1 < argc) {
             spec.base.slices =
                 static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--l2-policy" && i + 1 < argc) {
+            if (!stateKindFromString(argv[++i], spec.base.l2_policy))
+                SKIPIT_FATAL("--l2-policy must be inclusive or "
+                             "exclusive, got '", argv[i], "'");
+        } else if (arg == "--l2-index" && i + 1 < argc) {
+            if (!indexKindFromString(argv[++i], spec.base.l2_index))
+                SKIPIT_FATAL("--l2-index must be modulo or hashed, "
+                             "got '", argv[i], "'");
+        } else if (arg == "--l2-replace" && i + 1 < argc) {
+            if (!replaceKindFromString(argv[++i], spec.base.l2_replace))
+                SKIPIT_FATAL("--l2-replace must be lru, fifo or random, "
+                             "got '", argv[i], "'");
         } else if (arg == "--engine" && i + 1 < argc) {
             spec.base.engine = argv[++i];
         } else if (arg == "--workers" && i + 1 < argc) {

@@ -57,7 +57,10 @@ usage()
                  "[--trace CH[,CH]] [--stats]\n"
                  "                  [--stats-prefix P] "
                  "[--trace-out FILE] [--describe]\n"
-                 "                  [--peek ADDR]... <program.s>...\n");
+                 "                  [--l2-policy inclusive|exclusive] "
+                 "[--l2-index modulo|hashed]\n"
+                 "                  [--l2-replace lru|fifo|random] "
+                 "[--peek ADDR]... <program.s>...\n");
 }
 
 std::string
@@ -78,6 +81,9 @@ main(int argc, char **argv)
 {
     unsigned cores = 0;
     unsigned slices = 0;
+    StateKind l2_policy = StateKind::Inclusive;
+    IndexKind l2_index = IndexKind::Modulo;
+    ReplaceKind l2_replace = ReplaceKind::Lru;
     unsigned workers = 0;
     Simulator::Engine engine = Simulator::Engine::serial;
     bool skip_it = true;
@@ -109,6 +115,25 @@ main(int argc, char **argv)
             }
         } else if (arg == "--workers" && i + 1 < argc) {
             workers = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--l2-policy" && i + 1 < argc) {
+            if (!stateKindFromString(argv[++i], l2_policy)) {
+                std::fprintf(stderr, "error: --l2-policy must be "
+                             "inclusive or exclusive, got '%s'\n",
+                             argv[i]);
+                return 1;
+            }
+        } else if (arg == "--l2-index" && i + 1 < argc) {
+            if (!indexKindFromString(argv[++i], l2_index)) {
+                std::fprintf(stderr, "error: --l2-index must be modulo "
+                             "or hashed, got '%s'\n", argv[i]);
+                return 1;
+            }
+        } else if (arg == "--l2-replace" && i + 1 < argc) {
+            if (!replaceKindFromString(argv[++i], l2_replace)) {
+                std::fprintf(stderr, "error: --l2-replace must be lru, "
+                             "fifo or random, got '%s'\n", argv[i]);
+                return 1;
+            }
         } else if (arg == "--no-skipit") {
             skip_it = false;
         } else if (arg == "--trace" && i + 1 < argc) {
@@ -157,6 +182,9 @@ main(int argc, char **argv)
     }
     if (slices != 0)
         cfg.l2.slices = slices;
+    cfg.l2.policy = l2_policy;
+    cfg.l2.index = l2_index;
+    cfg.l2.replace = l2_replace;
     cfg.engine = engine;
     cfg.workers = workers;
     cfg.withSkipIt(skip_it);
